@@ -1,0 +1,425 @@
+// Package repro's benchmark suite regenerates every table and figure
+// of the paper (one benchmark per experiment) and adds micro- and
+// ablation benches for the core algorithm. Error/coverage numbers are
+// attached to the benchmark output via ReportMetric so a -bench run
+// doubles as a reproduction report:
+//
+//	go test -bench=. -benchmem
+//
+// Table/figure benches run at the Tiny experiment scale so the whole
+// suite stays in laptop territory; cmd/experiments regenerates them at
+// quick or full (paper) scale.
+package repro
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/neural"
+	"repro/internal/parallel"
+	"repro/internal/series"
+)
+
+// --- Paper tables -----------------------------------------------------
+
+// BenchmarkTable1Venice regenerates Table 1 (Venice Lagoon, all eight
+// horizons, rule system vs MLP, RMSE in cm).
+func BenchmarkTable1Venice(b *testing.B) {
+	sc := experiments.Tiny()
+	var last *experiments.Table1Result
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table1(sc, 42, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	if last != nil {
+		row := last.Rows[0] // horizon 1
+		b.ReportMetric(row.ErrorRS, "h1_rmse_rs_cm")
+		b.ReportMetric(row.ErrorNN, "h1_rmse_nn_cm")
+		b.ReportMetric(row.CoveragePct, "h1_coverage_%")
+	}
+}
+
+// BenchmarkTable2MackeyGlass regenerates Table 2 (Mackey-Glass,
+// horizons 50 and 85, rule system vs MRAN/RAN, NMSE).
+func BenchmarkTable2MackeyGlass(b *testing.B) {
+	sc := experiments.Tiny()
+	var last *experiments.Table2Result
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table2(sc, 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	if last != nil {
+		b.ReportMetric(last.Rows[0].ErrorRS, "h50_nmse_rs")
+		b.ReportMetric(last.Rows[0].ErrorMRAN, "h50_nmse_mran")
+		b.ReportMetric(last.Rows[1].ErrorRS, "h85_nmse_rs")
+		b.ReportMetric(last.Rows[1].ErrorRAN, "h85_nmse_ran")
+	}
+}
+
+// BenchmarkTable3Sunspots regenerates Table 3 (sunspots, five
+// horizons, rule system vs feed-forward vs recurrent nets, Galván
+// error).
+func BenchmarkTable3Sunspots(b *testing.B) {
+	sc := experiments.Tiny()
+	var last *experiments.Table3Result
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table3(sc, 42, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	if last != nil {
+		row := last.Rows[0]
+		b.ReportMetric(row.ErrorRS, "h1_galvan_rs")
+		b.ReportMetric(row.ErrorFF, "h1_galvan_ff")
+		b.ReportMetric(row.ErrorRec, "h1_galvan_rec")
+	}
+}
+
+// --- Paper figures ----------------------------------------------------
+
+// BenchmarkFigure1RuleDiagram regenerates Figure 1 (evolving a
+// population and rendering its fittest rule).
+func BenchmarkFigure1RuleDiagram(b *testing.B) {
+	sc := experiments.Tiny()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure1(sc, 42); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure2UnusualTide regenerates Figure 2 (real vs predicted
+// water level around the highest validation tide, horizon 1).
+func BenchmarkFigure2UnusualTide(b *testing.B) {
+	sc := experiments.Tiny()
+	var last *experiments.Figure2Result
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure2(sc, 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	if last != nil {
+		b.ReportMetric(last.PeakValue, "peak_cm")
+	}
+}
+
+// --- Ablations (DESIGN.md §5 design choices) ---------------------------
+
+// BenchmarkAblations runs the full design-choice ablation study
+// (replacement strategy, distance kind, wildcards, mutation rate,
+// weighted prediction) on the Mackey-Glass workload.
+func BenchmarkAblations(b *testing.B) {
+	sc := experiments.Tiny()
+	var last *experiments.AblationResult
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Ablations(sc, 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	if last != nil {
+		for _, row := range last.Rows {
+			if row.Variant == "paper (crowding, stratified, prediction distance)" {
+				b.ReportMetric(row.NMSE, "paper_nmse")
+			}
+			if row.Variant == "replacement: worst" {
+				b.ReportMetric(row.NMSE, "worst_repl_nmse")
+			}
+		}
+	}
+}
+
+// BenchmarkTradeoffSweep measures the coverage-accuracy tradeoff
+// experiment (the conclusions' tunability claim).
+func BenchmarkTradeoffSweep(b *testing.B) {
+	sc := experiments.Tiny()
+	var last *experiments.TradeoffResult
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Tradeoff(sc, 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	if last != nil && len(last.Rows) > 0 {
+		b.ReportMetric(last.Rows[0].CoveragePct, "loose_coverage_%")
+		b.ReportMetric(last.Rows[len(last.Rows)-1].CoveragePct, "strict_coverage_%")
+	}
+}
+
+// BenchmarkHorizonStability measures the horizon sweep (§4.1's
+// stability claim).
+func BenchmarkHorizonStability(b *testing.B) {
+	sc := experiments.Tiny()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.HorizonStability(sc, 42); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNoiseRobustness measures the observation-noise sweep.
+func BenchmarkNoiseRobustness(b *testing.B) {
+	sc := experiments.Tiny()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.NoiseRobustness(sc, 42); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMichiganVsPittsburgh measures the architecture comparison
+// (Michigan, Michigan+islands, Pittsburgh).
+func BenchmarkMichiganVsPittsburgh(b *testing.B) {
+	sc := experiments.Tiny()
+	var last *experiments.ApproachResult
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.MichiganVsPittsburgh(sc, 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	if last != nil {
+		for _, row := range last.Rows {
+			switch row.Approach {
+			case "Michigan (paper)":
+				b.ReportMetric(row.NMSE, "michigan_nmse")
+			case "Pittsburgh":
+				b.ReportMetric(row.NMSE, "pittsburgh_nmse")
+			}
+		}
+	}
+}
+
+// BenchmarkGeneralizationLorenz measures the out-of-paper-domain
+// check (rule system vs RAN vs AR on the Lorenz attractor).
+func BenchmarkGeneralizationLorenz(b *testing.B) {
+	sc := experiments.Tiny()
+	var last *experiments.GeneralizationResult
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Generalization(sc, 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	if last != nil {
+		for _, row := range last.Rows {
+			if row.Learner == "rule system" {
+				b.ReportMetric(row.NMSE, "rules_nmse")
+			}
+		}
+	}
+}
+
+// --- Parallel scaling ---------------------------------------------------
+
+// benchMultiRun measures MultiRun wall time at a given parallelism.
+func benchMultiRun(b *testing.B, parallelism int) {
+	trainSeries, _, err := series.MackeyGlassPaper()
+	if err != nil {
+		b.Fatal(err)
+	}
+	train, err := series.WindowEmbed(trainSeries, 4, 6, 50)
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := core.Default(train.D)
+	base.Horizon = train.Horizon
+	base.PopSize = 24
+	base.Generations = 400
+	base.Seed = 7
+	cfg := core.MultiRunConfig{
+		Base:           base,
+		CoverageTarget: 2, // run all executions
+		MaxExecutions:  4,
+		Parallelism:    parallelism,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.MultiRun(cfg, train); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMultiRunParallel1(b *testing.B) { benchMultiRun(b, 1) }
+func BenchmarkMultiRunParallel2(b *testing.B) { benchMultiRun(b, 2) }
+func BenchmarkMultiRunParallel4(b *testing.B) { benchMultiRun(b, 4) }
+
+// --- Core micro-benchmarks ----------------------------------------------
+
+func benchTrainDataset(b *testing.B, n, d int) *series.Dataset {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = math.Sin(2*math.Pi*float64(i)/40) + 0.3*math.Sin(2*math.Pi*float64(i)/13)
+	}
+	ds, err := series.Window(series.New("bench", v), d, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ds
+}
+
+// BenchmarkRuleMatch measures the hot path: one rule matched against
+// one 24-wide pattern.
+func BenchmarkRuleMatch(b *testing.B) {
+	ds := benchTrainDataset(b, 100, 24)
+	pop := core.InitStratified(ds, 10)
+	r := pop[5]
+	pattern := ds.Inputs[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Match(pattern)
+	}
+}
+
+// BenchmarkEvaluateRule measures one full rule evaluation (match scan
+// + regression + fitness) on a 10k-pattern training set.
+func BenchmarkEvaluateRule(b *testing.B) {
+	ds := benchTrainDataset(b, 10000, 24)
+	ev := core.NewEvaluator(ds, 0.2, 0, 1e-8, 1)
+	pop := core.InitStratified(ds, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev.Evaluate(pop[i%len(pop)])
+	}
+}
+
+// BenchmarkEvaluateRuleParallel is the same scan with goroutine
+// chunking enabled.
+func BenchmarkEvaluateRuleParallel(b *testing.B) {
+	ds := benchTrainDataset(b, 10000, 24)
+	ev := core.NewEvaluator(ds, 0.2, 0, 1e-8, 0)
+	pop := core.InitStratified(ds, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev.Evaluate(pop[i%len(pop)])
+	}
+}
+
+// BenchmarkGenerationStep measures one steady-state generation
+// (selection, crossover, mutation, evaluation, crowding replacement).
+func BenchmarkGenerationStep(b *testing.B) {
+	ds := benchTrainDataset(b, 5000, 24)
+	cfg := core.Default(24)
+	cfg.PopSize = 100
+	cfg.Generations = 0
+	cfg.Workers = 1
+	ex, err := core.NewExecution(cfg, ds)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ex.Step()
+	}
+}
+
+// BenchmarkRuleSetPredict measures system prediction over one pattern
+// with a 200-rule system.
+func BenchmarkRuleSetPredict(b *testing.B) {
+	ds := benchTrainDataset(b, 3000, 24)
+	ev := core.NewEvaluator(ds, 0.5, 0, 1e-8, 1)
+	pop := core.InitStratified(ds, 200)
+	ev.EvaluateAll(pop)
+	rs := core.NewRuleSet(24)
+	rs.Add(pop...)
+	pattern := ds.Inputs[42]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rs.Predict(pattern)
+	}
+}
+
+// --- Substrate benchmarks -------------------------------------------------
+
+// BenchmarkMackeyGlassGenerate measures the RK4 delay-differential
+// integration of the full 5000-sample series.
+func BenchmarkMackeyGlassGenerate(b *testing.B) {
+	cfg := series.DefaultMackeyGlass(5000)
+	for i := 0; i < b.N; i++ {
+		if _, err := series.MackeyGlass(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkVeniceGenerate measures synthesis of one year of hourly
+// Venice water levels.
+func BenchmarkVeniceGenerate(b *testing.B) {
+	cfg := series.DefaultVenice(8760, 1)
+	for i := 0; i < b.N; i++ {
+		if _, err := series.Venice(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMLPTrainEpoch measures one MLP training epoch on 5k
+// 24-wide patterns.
+func BenchmarkMLPTrainEpoch(b *testing.B) {
+	ds := benchTrainDataset(b, 5000, 24)
+	cfg := neural.DefaultMLP()
+	cfg.Epochs = 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := neural.NewMLP(24, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.Train(ds); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRANTrainPass measures one sequential RAN pass on the
+// Mackey-Glass training set.
+func BenchmarkRANTrainPass(b *testing.B) {
+	trainSeries, _, err := series.MackeyGlassPaper()
+	if err != nil {
+		b.Fatal(err)
+	}
+	train, err := series.WindowEmbed(trainSeries, 4, 6, 50)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := neural.DefaultRAN()
+	cfg.Passes = 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := neural.NewRAN(4, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := r.Train(train); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkParallelFold measures the chunked fold primitive the match
+// scan is built on (1M-element sum).
+func BenchmarkParallelFold(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		parallel.Fold(1_000_000, 0,
+			func() float64 { return 0 },
+			func(acc float64, i int) float64 { return acc + float64(i) },
+			func(a, c float64) float64 { return a + c })
+	}
+}

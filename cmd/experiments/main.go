@@ -1,0 +1,141 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -table 1            # Table 1 (Venice) at quick scale
+//	experiments -table 2 -full      # Table 2 (Mackey-Glass) at paper scale
+//	experiments -table 3
+//	experiments -figure 1           # rule diagram
+//	experiments -figure 2           # unusual-tide trace
+//	experiments -ablations
+//	experiments -all                # everything at the chosen scale
+//
+// The -full flag switches from the quick (laptop) scale to the
+// paper's full protocol (45k-point Venice training, 75k generations);
+// expect hours at full scale.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		table      = flag.Int("table", 0, "table to regenerate (1, 2 or 3)")
+		figure     = flag.Int("figure", 0, "figure to regenerate (1 or 2)")
+		ablations  = flag.Bool("ablations", false, "run the design-choice ablations")
+		tradeoff   = flag.Bool("tradeoff", false, "run the coverage-accuracy tradeoff sweep")
+		horizons   = flag.Bool("horizons", false, "run the horizon-stability sweep")
+		noise      = flag.Bool("noise", false, "run the noise-robustness sweep")
+		approaches = flag.Bool("approaches", false, "compare Michigan vs Pittsburgh vs islands")
+		general    = flag.Bool("generalization", false, "run the Lorenz generalization check")
+		all        = flag.Bool("all", false, "regenerate every table and figure")
+		extras     = flag.Bool("extras", false, "also run every extension experiment with -all")
+		full       = flag.Bool("full", false, "use the paper's full-scale protocol")
+		tiny       = flag.Bool("tiny", false, "use the unit-test scale (fast smoke run)")
+		seed       = flag.Int64("seed", 42, "base RNG seed")
+	)
+	flag.Parse()
+
+	sc := experiments.Quick()
+	if *full {
+		sc = experiments.Paper()
+	}
+	if *tiny {
+		sc = experiments.Tiny()
+	}
+
+	anyExtra := *tradeoff || *horizons || *noise || *approaches || *general
+	if !*all && *table == 0 && *figure == 0 && !*ablations && !anyExtra {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+
+	if *all || *table == 1 {
+		res, err := experiments.Table1(sc, *seed, nil)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(res.Format())
+	}
+	if *all || *table == 2 {
+		res, err := experiments.Table2(sc, *seed)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(res.Format())
+	}
+	if *all || *table == 3 {
+		res, err := experiments.Table3(sc, *seed, nil)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(res.Format())
+	}
+	if *all || *figure == 1 {
+		res, err := experiments.Figure1(sc, *seed)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println("Figure 1 — graphical representation of an evolved rule")
+		fmt.Println(res.Rendered)
+	}
+	if *all || *figure == 2 {
+		res, err := experiments.Figure2(sc, *seed)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(res.Rendered)
+	}
+	if *all || *ablations {
+		res, err := experiments.Ablations(sc, *seed)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(res.Format())
+	}
+	if (*all && *extras) || *tradeoff {
+		res, err := experiments.Tradeoff(sc, *seed)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(res.Format())
+	}
+	if (*all && *extras) || *horizons {
+		res, err := experiments.HorizonStability(sc, *seed)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(res.Format())
+	}
+	if (*all && *extras) || *noise {
+		res, err := experiments.NoiseRobustness(sc, *seed)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(res.Format())
+	}
+	if (*all && *extras) || *approaches {
+		res, err := experiments.MichiganVsPittsburgh(sc, *seed)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(res.Format())
+	}
+	if (*all && *extras) || *general {
+		res, err := experiments.Generalization(sc, *seed)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(res.Format())
+	}
+}

@@ -1,0 +1,90 @@
+// Mackey-Glass: reproduces the Table 2 comparison at example scale —
+// the evolutionary rule system against Platt's RAN and the MRAN
+// sequential RBF learners at horizons 50 and 85.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/neural"
+	"repro/internal/series"
+)
+
+func main() {
+	trainSeries, testSeries, err := series.MackeyGlassPaper()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, horizon := range []int{50, 85} {
+		train, err := series.WindowEmbed(trainSeries, 4, 6, horizon)
+		if err != nil {
+			log.Fatal(err)
+		}
+		test, err := series.WindowEmbed(testSeries, 4, 6, horizon)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// Rule system.
+		base := core.Default(train.D)
+		base.Horizon = horizon
+		base.PopSize = 50
+		base.Generations = 4000
+		base.Seed = int64(horizon)
+		res, err := core.MultiRun(core.MultiRunConfig{
+			Base:           base,
+			CoverageTarget: 0.95,
+			MaxExecutions:  3,
+		}, train)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pred, mask := res.RuleSet.PredictDataset(test)
+		nmseRS, cov, err := metrics.MaskedNMSE(pred, test.Targets, mask)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// RAN baseline.
+		ran, err := neural.NewRAN(train.D, neural.DefaultRAN())
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := ran.Train(train); err != nil {
+			log.Fatal(err)
+		}
+		ranPred, err := ran.PredictDataset(test)
+		if err != nil {
+			log.Fatal(err)
+		}
+		nmseRAN, err := metrics.NMSE(ranPred, test.Targets)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// MRAN baseline.
+		mran, err := neural.NewMRAN(train.D, neural.DefaultMRAN())
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := mran.Train(train); err != nil {
+			log.Fatal(err)
+		}
+		mranPred, err := mran.PredictDataset(test)
+		if err != nil {
+			log.Fatal(err)
+		}
+		nmseMRAN, err := metrics.NMSE(mranPred, test.Targets)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		fmt.Printf("horizon %d:\n", horizon)
+		fmt.Printf("  rule system  NMSE %.4f  (coverage %.1f%%, %d rules)\n", nmseRS, 100*cov, res.RuleSet.Len())
+		fmt.Printf("  RAN          NMSE %.4f  (%d units)\n", nmseRAN, ran.Units())
+		fmt.Printf("  MRAN         NMSE %.4f  (%d units)\n\n", nmseMRAN, mran.Units())
+	}
+}

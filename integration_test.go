@@ -1,0 +1,254 @@
+// Integration tests: the full pipeline a downstream user runs, from
+// series generation through training, serialization and scoring —
+// per domain and across process boundaries (save/load).
+package repro
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/arma"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/neural"
+	"repro/internal/series"
+)
+
+// trainQuick evolves a small rule system on the dataset.
+func trainQuick(t *testing.T, train *series.Dataset, seed int64) *core.RuleSet {
+	t.Helper()
+	base := core.Default(train.D)
+	base.Horizon = train.Horizon
+	base.PopSize = 30
+	base.Generations = 800
+	base.Seed = seed
+	res, err := core.MultiRun(core.MultiRunConfig{
+		Base:           base,
+		CoverageTarget: 0.9,
+		MaxExecutions:  2,
+	}, train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RuleSet.Len() == 0 {
+		t.Fatal("no rules evolved")
+	}
+	return res.RuleSet
+}
+
+func TestPipelineMackeyGlass(t *testing.T) {
+	trainSeries, testSeries, err := series.MackeyGlassPaper()
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, err := series.WindowEmbed(trainSeries, 4, 6, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	test, err := series.WindowEmbed(testSeries, 4, 6, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := trainQuick(t, train, 7)
+	pred, mask := rs.PredictDataset(test)
+	nmse, cov, err := metrics.MaskedNMSE(pred, test.Targets, mask)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cov < 0.2 {
+		t.Fatalf("coverage %v too low", cov)
+	}
+	if nmse >= 1 {
+		t.Fatalf("NMSE %v no better than the mean predictor", nmse)
+	}
+}
+
+func TestPipelineVeniceWithSerialization(t *testing.T) {
+	trainSeries, valSeries, err := series.VenicePaper(2500, 600, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, err := series.Window(trainSeries, 24, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	val, err := series.Window(valSeries, 24, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := trainQuick(t, train, 11)
+
+	// Round-trip through disk, as the CLI does between train and eval.
+	path := filepath.Join(t.TempDir(), "rules.json")
+	if err := rs.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := core.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, m1 := rs.PredictDataset(val)
+	p2, m2 := loaded.PredictDataset(val)
+	for i := range p1 {
+		if m1[i] != m2[i] || p1[i] != p2[i] {
+			t.Fatalf("loaded system diverges at %d", i)
+		}
+	}
+	rmse, cov, err := metrics.MaskedRMSE(p1, val.Targets, m1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cov < 0.3 {
+		t.Fatalf("coverage %v", cov)
+	}
+	// Horizon-1 tide prediction must be far better than the series std
+	// (~28 cm).
+	if rmse > 15 {
+		t.Fatalf("h=1 RMSE %v cm implausibly bad", rmse)
+	}
+}
+
+func TestPipelineSunspotsAllLearners(t *testing.T) {
+	_, trainSeries, valSeries, err := series.SunspotsPaper(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, err := series.Window(trainSeries, 24, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	val, err := series.Window(valSeries, 24, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Rule system.
+	rs := trainQuick(t, train, 13)
+	_, mask := rs.PredictDataset(val)
+	if metrics.Coverage(mask) == 0 {
+		t.Fatal("rule system abstained everywhere")
+	}
+
+	// MLP.
+	mlpCfg := neural.DefaultMLP()
+	mlpCfg.Epochs = 10
+	mlp, err := neural.NewMLP(24, mlpCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mlp.Train(train); err != nil {
+		t.Fatal(err)
+	}
+	mlpPred, err := mlp.PredictDataset(val)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mlpE, err := metrics.GalvanError(mlpPred, val.Targets, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Elman.
+	elCfg := neural.DefaultElman()
+	elCfg.Epochs = 6
+	el, err := neural.NewElman(elCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := el.Train(train); err != nil {
+		t.Fatal(err)
+	}
+	elPred, err := el.PredictDataset(val)
+	if err != nil {
+		t.Fatal(err)
+	}
+	elE, err := metrics.GalvanError(elPred, val.Targets, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// AR baseline.
+	ar, err := arma.FitAR(trainSeries, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arPred, err := ar.PredictDataset(val)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arE, err := metrics.GalvanError(arPred, val.Targets, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for name, e := range map[string]float64{"mlp": mlpE, "elman": elE, "ar": arE} {
+		if math.IsNaN(e) || e <= 0 || e > 0.5 {
+			t.Fatalf("%s Galván error %v implausible", name, e)
+		}
+	}
+}
+
+func TestPipelineCSVThroughDisk(t *testing.T) {
+	s, err := series.Venice(series.DefaultVenice(1200, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "series.csv")
+	if err := series.SaveCSV(path, s); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := series.LoadCSV(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != s.Len() {
+		t.Fatalf("CSV round trip lost samples: %d vs %d", loaded.Len(), s.Len())
+	}
+	for i := range s.Values {
+		if math.Abs(loaded.Values[i]-s.Values[i]) > 1e-9 {
+			t.Fatalf("CSV round trip altered value %d", i)
+		}
+	}
+}
+
+func TestPipelineIteratedVsDirect(t *testing.T) {
+	// A horizon-1 system iterated 5 steps should still beat the mean
+	// predictor at horizon 5 on a smooth series.
+	trainSeries, testSeries, err := series.MackeyGlassPaper()
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, err := series.Window(trainSeries, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := trainQuick(t, train, 17)
+
+	const steps = 5
+	vals := testSeries.Values
+	var se, seMean, n float64
+	mean := 0.0
+	for _, v := range train.Targets {
+		mean += v
+	}
+	mean /= float64(train.Len())
+	for i := 0; i+4+steps <= len(vals); i += 7 {
+		traj, done := rs.IteratedForecast(vals[i:i+4], steps)
+		if done < steps {
+			continue
+		}
+		want := vals[i+4+steps-1]
+		d := traj[steps-1] - want
+		se += d * d
+		dm := mean - want
+		seMean += dm * dm
+		n++
+	}
+	if n < 10 {
+		t.Fatalf("only %v complete iterated trajectories", n)
+	}
+	if se >= seMean {
+		t.Fatalf("iterated forecast (SSE %v) no better than mean predictor (SSE %v)", se, seMean)
+	}
+}

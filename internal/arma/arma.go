@@ -1,0 +1,102 @@
+// Package arma implements the linear autoregressive baseline the
+// paper's introduction cites (ARMA models were the pre-neural state of
+// the art for Venice water-level forecasting, Moretti & Tomasin 1984).
+// AR(p) coefficients are fitted by conditional least squares — the
+// regression of x_t on (x_{t-1},...,x_{t-p}) — which coincides with
+// the Yule-Walker solution for long stationary series but needs no
+// autocovariance estimation.
+package arma
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/linalg"
+	"repro/internal/series"
+)
+
+// AR is a fitted autoregressive model of order P:
+//
+//	x̂_t = c + Σ_{k=1..P} φ_k · x_{t-k}
+type AR struct {
+	P   int
+	Phi []float64 // φ_1..φ_P (lag-1 first)
+	C   float64   // intercept
+}
+
+// FitAR fits an AR(p) model to the series by least squares.
+func FitAR(s *series.Series, p int) (*AR, error) {
+	if p < 1 {
+		return nil, fmt.Errorf("arma: order %d must be positive", p)
+	}
+	n := s.Len()
+	if n <= p+1 {
+		return nil, fmt.Errorf("arma: series of %d values cannot fit AR(%d)", n, p)
+	}
+	xs := make([][]float64, 0, n-p)
+	ys := make([]float64, 0, n-p)
+	for t := p; t < n; t++ {
+		row := make([]float64, p)
+		for k := 1; k <= p; k++ {
+			row[k-1] = s.Values[t-k]
+		}
+		xs = append(xs, row)
+		ys = append(ys, s.Values[t])
+	}
+	fit, err := linalg.FitAffine(xs, ys, 1e-10)
+	if err != nil {
+		return nil, fmt.Errorf("arma: fitting AR(%d): %w", p, err)
+	}
+	return &AR{P: p, Phi: fit.Coef, C: fit.Intercept}, nil
+}
+
+// Predict returns x̂_{t} given the p previous values ordered oldest
+// first (history[len-1] is x_{t-1}).
+func (m *AR) Predict(history []float64) (float64, error) {
+	if len(history) < m.P {
+		return 0, errors.New("arma: history shorter than model order")
+	}
+	v := m.C
+	for k := 1; k <= m.P; k++ {
+		v += m.Phi[k-1] * history[len(history)-k]
+	}
+	return v, nil
+}
+
+// Forecast iterates Predict h steps ahead, feeding predictions back
+// as inputs (the standard multi-step AR forecast).
+func (m *AR) Forecast(history []float64, h int) ([]float64, error) {
+	if h < 1 {
+		return nil, fmt.Errorf("arma: horizon %d must be positive", h)
+	}
+	buf := append([]float64(nil), history...)
+	out := make([]float64, h)
+	for i := 0; i < h; i++ {
+		v, err := m.Predict(buf)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+		buf = append(buf, v)
+	}
+	return out, nil
+}
+
+// PredictDataset emits the h-step AR forecast for each dataset
+// pattern, matching the windowed evaluation protocol of the other
+// learners: for each pattern, the model sees the D window values and
+// must forecast Horizon steps past the window's end.
+func (m *AR) PredictDataset(ds *series.Dataset) ([]float64, error) {
+	if ds.D < m.P {
+		return nil, fmt.Errorf("arma: window D=%d shorter than AR order %d", ds.D, m.P)
+	}
+	out := make([]float64, ds.Len())
+	for i, in := range ds.Inputs {
+		fc, err := m.Forecast(in, ds.Horizon)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = fc[ds.Horizon-1]
+	}
+	return out, nil
+}

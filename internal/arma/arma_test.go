@@ -1,0 +1,120 @@
+package arma
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/series"
+)
+
+// synthAR2 generates a stationary oscillatory AR(2) with known
+// coefficients (complex roots, modulus ~0.94) so multi-step forecasts
+// retain signal.
+func synthAR2(n int, seed int64) *series.Series {
+	src := rng.New(seed)
+	v := make([]float64, n)
+	for t := 2; t < n; t++ {
+		v[t] = 1.6*v[t-1] - 0.89*v[t-2] + 0.5 + src.Norm(0, 0.1)
+	}
+	return series.New("ar2", v)
+}
+
+func TestFitARRecoversCoefficients(t *testing.T) {
+	s := synthAR2(20000, 3)
+	m, err := FitAR(s, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Phi[0]-1.6) > 0.05 || math.Abs(m.Phi[1]+0.89) > 0.05 {
+		t.Fatalf("Phi = %v, want ~[1.6,-0.89]", m.Phi)
+	}
+	if math.Abs(m.C-0.5) > 0.2 {
+		t.Fatalf("C = %v, want ~0.5", m.C)
+	}
+}
+
+func TestFitARErrors(t *testing.T) {
+	s := series.New("tiny", []float64{1, 2, 3})
+	if _, err := FitAR(s, 0); err == nil {
+		t.Fatal("order 0 accepted")
+	}
+	if _, err := FitAR(s, 5); err == nil {
+		t.Fatal("order > length accepted")
+	}
+}
+
+func TestPredictUsesRecentHistory(t *testing.T) {
+	m := &AR{P: 2, Phi: []float64{0.5, 0.25}, C: 1}
+	// history ... x_{t-2}=4, x_{t-1}=8 → 1 + 0.5*8 + 0.25*4 = 6.
+	got, err := m.Predict([]float64{99, 4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 6 {
+		t.Fatalf("Predict = %v, want 6", got)
+	}
+	if _, err := m.Predict([]float64{1}); err == nil {
+		t.Fatal("short history accepted")
+	}
+}
+
+func TestForecastIterates(t *testing.T) {
+	// x_t = x_{t-1} (random walk coefficients): forecast stays flat.
+	m := &AR{P: 1, Phi: []float64{1}, C: 0}
+	fc, err := m.Forecast([]float64{3}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range fc {
+		if v != 3 {
+			t.Fatalf("Forecast = %v", fc)
+		}
+	}
+	if _, err := m.Forecast([]float64{3}, 0); err == nil {
+		t.Fatal("h=0 accepted")
+	}
+}
+
+func TestPredictDatasetHorizons(t *testing.T) {
+	s := synthAR2(3000, 5)
+	m, err := FitAR(s.Slice(0, 2000), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	test := s.Slice(2000, 3000)
+	for _, h := range []int{1, 4} {
+		ds, err := series.Window(test, 6, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pred, err := m.PredictDataset(ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// AR forecast must beat predicting the unconditional mean.
+		mean := 0.0
+		for _, v := range ds.Targets {
+			mean += v
+		}
+		mean /= float64(ds.Len())
+		var sq, sqMean float64
+		for i := range pred {
+			d := pred[i] - ds.Targets[i]
+			sq += d * d
+			dm := mean - ds.Targets[i]
+			sqMean += dm * dm
+		}
+		if sq >= sqMean {
+			t.Fatalf("h=%d: AR SSE %v not below mean-predictor SSE %v", h, sq, sqMean)
+		}
+	}
+	// Window shorter than the order is rejected.
+	ds, err := series.Window(test, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.PredictDataset(ds); err == nil {
+		t.Fatal("D < P accepted")
+	}
+}

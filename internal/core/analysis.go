@@ -1,0 +1,191 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/series"
+)
+
+// Analysis summarizes the structure and behaviour of a trained
+// RuleSet against a dataset: how work is shared between rules, how
+// much they overlap, and where the system abstains. The paper's
+// qualitative claims — rules adapt to "special and local
+// characteristics", fewer rules predict more at longer horizons —
+// become measurable through this report.
+type Analysis struct {
+	Rules            int
+	Patterns         int
+	Coverage         float64 // fraction of patterns matched by ≥1 rule
+	MeanRulesPerHit  float64 // mean number of matching rules over covered patterns
+	MaxRulesPerHit   int
+	DeadRules        int     // rules matching zero patterns of this dataset
+	MeanSpecificity  float64 // mean fraction of non-wildcard genes
+	MeanIntervalFrac float64 // mean bounded-gene width as a fraction of the lag range
+	GiniCoverage     float64 // inequality of per-rule match counts (0 = equal share)
+	PerRuleMatches   []int   // matches per rule, aligned with RuleSet.Rules
+}
+
+// Analyze computes the report. It is O(rules × patterns × D).
+func (rs *RuleSet) Analyze(ds *series.Dataset) *Analysis {
+	a := &Analysis{
+		Rules:          rs.Len(),
+		Patterns:       ds.Len(),
+		PerRuleMatches: make([]int, rs.Len()),
+	}
+	if rs.Len() == 0 || ds.Len() == 0 {
+		return a
+	}
+
+	hits := 0       // covered patterns
+	totalMatch := 0 // Σ matching rules over covered patterns
+	for _, pattern := range ds.Inputs {
+		m := 0
+		for ri, r := range rs.Rules {
+			if r.Fitted() && r.Match(pattern) {
+				m++
+				a.PerRuleMatches[ri]++
+			}
+		}
+		if m > 0 {
+			hits++
+			totalMatch += m
+			if m > a.MaxRulesPerHit {
+				a.MaxRulesPerHit = m
+			}
+		}
+	}
+	a.Coverage = float64(hits) / float64(ds.Len())
+	if hits > 0 {
+		a.MeanRulesPerHit = float64(totalMatch) / float64(hits)
+	}
+	for _, c := range a.PerRuleMatches {
+		if c == 0 {
+			a.DeadRules++
+		}
+	}
+
+	// Structural statistics need the per-lag data ranges.
+	lagLo := make([]float64, ds.D)
+	lagHi := make([]float64, ds.D)
+	for j := 0; j < ds.D; j++ {
+		lagLo[j], lagHi[j] = ds.Inputs[0][j], ds.Inputs[0][j]
+	}
+	for _, row := range ds.Inputs {
+		for j, v := range row {
+			if v < lagLo[j] {
+				lagLo[j] = v
+			}
+			if v > lagHi[j] {
+				lagHi[j] = v
+			}
+		}
+	}
+	var specSum, fracSum float64
+	var boundedGenes int
+	for _, r := range rs.Rules {
+		specSum += r.Specificity()
+		for j, iv := range r.Cond {
+			if iv.Wildcard {
+				continue
+			}
+			span := lagHi[j] - lagLo[j]
+			if span == 0 {
+				span = 1
+			}
+			f := iv.Width() / span
+			if f > 1 {
+				f = 1
+			}
+			fracSum += f
+			boundedGenes++
+		}
+	}
+	a.MeanSpecificity = specSum / float64(rs.Len())
+	if boundedGenes > 0 {
+		a.MeanIntervalFrac = fracSum / float64(boundedGenes)
+	}
+	a.GiniCoverage = gini(a.PerRuleMatches)
+	return a
+}
+
+// gini computes the Gini coefficient of non-negative integer counts.
+func gini(counts []int) float64 {
+	n := len(counts)
+	if n == 0 {
+		return 0
+	}
+	sorted := append([]int(nil), counts...)
+	sort.Ints(sorted)
+	var cum, total float64
+	for _, c := range sorted {
+		total += float64(c)
+	}
+	if total == 0 {
+		return 0
+	}
+	var lorenzSum float64
+	for _, c := range sorted {
+		cum += float64(c)
+		lorenzSum += cum
+	}
+	// Gini = 1 - 2·(area under Lorenz curve); discrete approximation.
+	return 1 - (2*lorenzSum-total)/(float64(n)*total)
+}
+
+// String renders the analysis as a readable report.
+func (a *Analysis) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "rules:              %d (%d dead on this dataset)\n", a.Rules, a.DeadRules)
+	fmt.Fprintf(&b, "patterns:           %d\n", a.Patterns)
+	fmt.Fprintf(&b, "coverage:           %.1f%%\n", 100*a.Coverage)
+	fmt.Fprintf(&b, "rules per hit:      mean %.2f, max %d\n", a.MeanRulesPerHit, a.MaxRulesPerHit)
+	fmt.Fprintf(&b, "mean specificity:   %.2f (fraction of bounded genes)\n", a.MeanSpecificity)
+	fmt.Fprintf(&b, "mean interval span: %.2f of lag range\n", a.MeanIntervalFrac)
+	fmt.Fprintf(&b, "coverage Gini:      %.2f (0 = rules share work equally)\n", a.GiniCoverage)
+	return b.String()
+}
+
+// OverlapMatrix returns the pairwise phenotypic overlap-distance
+// matrix of the rule set (0 = identical conditions, 1 = disjoint),
+// useful for diversity diagnostics and for clustering rules by zone.
+func (rs *RuleSet) OverlapMatrix() [][]float64 {
+	n := rs.Len()
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := overlapDistance(rs.Rules[i], rs.Rules[j])
+			m[i][j], m[j][i] = d, d
+		}
+	}
+	return m
+}
+
+// MeanPairwiseDistance summarizes the overlap matrix as one diversity
+// number in [0,1].
+func (rs *RuleSet) MeanPairwiseDistance() float64 {
+	n := rs.Len()
+	if n < 2 {
+		return 0
+	}
+	m := rs.OverlapMatrix()
+	var sum float64
+	var cnt int
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if !math.IsNaN(m[i][j]) {
+				sum += m[i][j]
+				cnt++
+			}
+		}
+	}
+	if cnt == 0 {
+		return 0
+	}
+	return sum / float64(cnt)
+}

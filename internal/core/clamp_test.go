@@ -1,0 +1,58 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/linalg"
+)
+
+func TestSetClampLimitsOutputs(t *testing.T) {
+	rs := NewRuleSet(1)
+	// A rule whose consequent extrapolates wildly: out = 100*x.
+	r := NewRule([]Interval{NewInterval(-1e12, 1e12)})
+	r.Fit = &linalg.LinearFit{Coef: []float64{100}, Intercept: 0}
+	r.Error = 0.1
+	r.Fitness = 1
+	rs.Add(r)
+
+	unclamped, ok := rs.Predict([]float64{50})
+	if !ok || unclamped != 5000 {
+		t.Fatalf("unclamped = %v,%v", unclamped, ok)
+	}
+	rs.SetClamp(0, 10)
+	clamped, ok := rs.Predict([]float64{50})
+	if !ok || clamped != 10 {
+		t.Fatalf("clamped = %v,%v want 10", clamped, ok)
+	}
+	low, ok := rs.Predict([]float64{-50})
+	if !ok || low != 0 {
+		t.Fatalf("clamped low = %v,%v want 0", low, ok)
+	}
+	// In-range outputs are untouched.
+	mid, ok := rs.Predict([]float64{0.05})
+	if !ok || mid != 5 {
+		t.Fatalf("in-range = %v,%v want 5", mid, ok)
+	}
+}
+
+func TestSetClampSwapsReversedBounds(t *testing.T) {
+	rs := NewRuleSet(1)
+	rs.SetClamp(10, 0)
+	if rs.ClampLo != 0 || rs.ClampHi != 10 {
+		t.Fatalf("reversed clamp not swapped: %v,%v", rs.ClampLo, rs.ClampHi)
+	}
+}
+
+func TestClampAppliesToWeightedPrediction(t *testing.T) {
+	rs := NewRuleSet(1)
+	r := NewRule([]Interval{NewInterval(-1e12, 1e12)})
+	r.Fit = &linalg.LinearFit{Coef: []float64{100}, Intercept: 0}
+	r.Error = 0.1
+	r.Fitness = 1
+	rs.Add(r)
+	rs.SetClamp(0, 10)
+	got, ok := rs.PredictWeighted([]float64{50})
+	if !ok || got != 10 {
+		t.Fatalf("weighted clamped = %v,%v want 10", got, ok)
+	}
+}

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+	"repro/internal/series"
+)
+
+// Stats tracks the trajectory of one execution for diagnostics,
+// ablation benches and tests.
+type Stats struct {
+	Generations  int     // steady-state iterations performed
+	Replacements int     // offspring that entered the population
+	BestFitness  float64 // best fitness at the end
+	MeanFitness  float64 // mean fitness at the end
+	ValidRules   int     // rules above the fitness floor at the end
+	EMaxResolved float64 // the EMAX actually used (after auto-resolution)
+}
+
+// Execution is one evolutionary run: a population of rules evolved
+// against a training dataset with the paper's steady-state Michigan
+// strategy.
+type Execution struct {
+	Config Config
+	Pop    []*Rule
+	Eval   *Evaluator
+	Stats  Stats
+
+	src      *rng.Source
+	mut      *mutator
+	predSpan float64
+}
+
+// NewExecution prepares (but does not run) an execution: it validates
+// the configuration, resolves EMax against the data when unset,
+// initializes the population with the paper's stratified procedure and
+// evaluates it.
+func NewExecution(cfg Config, data *series.Dataset) (*Execution, error) {
+	if cfg.D != data.D {
+		return nil, fmt.Errorf("%w: config D=%d but dataset D=%d", ErrConfig, cfg.D, data.D)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	lo, hi := data.TargetRange()
+	emax := cfg.EMax
+	if emax == 0 {
+		// Auto-resolution: 10% of the training output span. EMAX is the
+		// error a rule must beat to be viable; a fixed fraction of the
+		// span transfers across the paper's differently-scaled domains.
+		emax = 0.1 * (hi - lo)
+		if emax == 0 {
+			emax = 1
+		}
+	}
+
+	ex := &Execution{
+		Config:   cfg,
+		Eval:     NewEvaluator(data, emax, cfg.FMin, cfg.Ridge, cfg.Workers),
+		src:      rng.New(cfg.Seed),
+		predSpan: hi - lo,
+	}
+	ex.Stats.EMaxResolved = emax
+
+	// Per-lag data bounds for the mutator.
+	lagLo := make([]float64, data.D)
+	lagHi := make([]float64, data.D)
+	for j := 0; j < data.D; j++ {
+		lagLo[j], lagHi[j] = data.Inputs[0][j], data.Inputs[0][j]
+	}
+	for _, row := range data.Inputs {
+		for j, v := range row {
+			if v < lagLo[j] {
+				lagLo[j] = v
+			}
+			if v > lagHi[j] {
+				lagHi[j] = v
+			}
+		}
+	}
+	ex.mut = newMutator(cfg.MutationRate, cfg.MutationSpan, cfg.WildcardRate, lagLo, lagHi)
+
+	ex.Pop = InitStratified(data, cfg.PopSize)
+	ex.Eval.EvaluateAll(ex.Pop)
+	return ex, nil
+}
+
+// Step performs one steady-state generation: select two parents by
+// 3-round trials, produce one offspring by uniform crossover, mutate
+// it, evaluate it, and let it replace the phenotypically nearest
+// individual iff it is fitter (crowding). Returns true if the
+// offspring entered the population.
+func (ex *Execution) Step() bool {
+	cfg := &ex.Config
+	var child *Rule
+	if ex.src.Bool(cfg.CrossoverRate) {
+		pa := selectParent(ex.Pop, cfg.TournamentRounds, ex.src)
+		pb := selectParent(ex.Pop, cfg.TournamentRounds, ex.src)
+		child = crossover(ex.Pop[pa], ex.Pop[pb], ex.src)
+	} else {
+		// Mutation-only reproduction (ablation path; the paper always
+		// crosses over).
+		pa := selectParent(ex.Pop, cfg.TournamentRounds, ex.src)
+		child = ex.Pop[pa].Clone()
+	}
+	ex.mut.mutate(child, ex.src)
+	ex.Eval.Evaluate(child)
+
+	var target int
+	switch cfg.Replacement {
+	case ReplaceRandom:
+		target = ex.src.Intn(len(ex.Pop))
+	case ReplaceWorst:
+		target = 0
+		for i, r := range ex.Pop {
+			if r.Fitness < ex.Pop[target].Fitness {
+				target = i
+			}
+		}
+	default: // ReplaceNearest — the paper's crowding
+		target = nearestIndex(ex.Pop, child, cfg.Distance, ex.predSpan)
+	}
+	ex.Stats.Generations++
+	if child.Fitness > ex.Pop[target].Fitness {
+		ex.Pop[target] = child
+		ex.Stats.Replacements++
+		return true
+	}
+	return false
+}
+
+// Run performs the configured number of generations and refreshes the
+// final statistics.
+func (ex *Execution) Run() {
+	for g := 0; g < ex.Config.Generations; g++ {
+		ex.Step()
+	}
+	ex.refreshStats()
+}
+
+// refreshStats recomputes the end-of-run aggregate statistics.
+func (ex *Execution) refreshStats() {
+	best, sum := ex.Pop[0].Fitness, 0.0
+	valid := 0
+	for _, r := range ex.Pop {
+		if r.Fitness > best {
+			best = r.Fitness
+		}
+		sum += r.Fitness
+		if r.Fitness > ex.Config.FMin {
+			valid++
+		}
+	}
+	ex.Stats.BestFitness = best
+	ex.Stats.MeanFitness = sum / float64(len(ex.Pop))
+	ex.Stats.ValidRules = valid
+}
+
+// ValidRules returns the rules whose fitness exceeds the floor — the
+// individuals the paper's final system keeps from this execution.
+func (ex *Execution) ValidRules() []*Rule {
+	var out []*Rule
+	for _, r := range ex.Pop {
+		if r.Fitness > ex.Config.FMin && r.Fitted() {
+			out = append(out, r)
+		}
+	}
+	return out
+}

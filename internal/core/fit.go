@@ -1,0 +1,135 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/linalg"
+	"repro/internal/parallel"
+	"repro/internal/series"
+)
+
+// Evaluator fits rules against a fixed training dataset and computes
+// the paper's fitness. One Evaluator is shared by a whole execution;
+// it is safe for concurrent use by multiple goroutines because it is
+// read-only after construction.
+type Evaluator struct {
+	data    *series.Dataset
+	emax    float64
+	fmin    float64
+	ridge   float64
+	workers int
+}
+
+// NewEvaluator builds an evaluator over the training dataset. emax
+// and fmin are the paper's EMAX and f_min; ridge regularizes the
+// consequent regression; workers bounds the parallel match scan
+// (0 = GOMAXPROCS).
+func NewEvaluator(data *series.Dataset, emax, fmin, ridge float64, workers int) *Evaluator {
+	return &Evaluator{data: data, emax: emax, fmin: fmin, ridge: ridge, workers: workers}
+}
+
+// EMax returns the evaluator's EMAX parameter.
+func (e *Evaluator) EMax() float64 { return e.emax }
+
+// Data returns the training dataset the evaluator scores against.
+func (e *Evaluator) Data() *series.Dataset { return e.data }
+
+// MatchIndices returns the indices of training patterns matched by
+// the rule — the paper's C_R(S). The scan is chunked over goroutines;
+// chunk-ordered merging keeps the result deterministic.
+func (e *Evaluator) MatchIndices(r *Rule) []int {
+	n := e.data.Len()
+	// Parallelism pays only for large scans; the threshold keeps the
+	// tiny datasets in unit tests on the fast serial path.
+	if n < 4096 || parallel.Workers(e.workers) == 1 {
+		var out []int
+		for i := 0; i < n; i++ {
+			if r.Match(e.data.Inputs[i]) {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+	return parallel.Fold(n, e.workers,
+		func() []int { return nil },
+		func(acc []int, i int) []int {
+			if r.Match(e.data.Inputs[i]) {
+				acc = append(acc, i)
+			}
+			return acc
+		},
+		func(a, b []int) []int { return append(a, b...) })
+}
+
+// Evaluate fits the rule's consequent on its matched training points
+// and assigns Prediction, Error, Matches and Fitness in place,
+// implementing §3.1's procedure and fitness function:
+//
+//	IF NR > 1 AND eR < EMAX THEN fitness = NR*EMAX - eR ELSE fitness = f_min
+//
+// Rules matching zero or one point keep (or are assigned) a degenerate
+// consequent and the fitness floor.
+func (e *Evaluator) Evaluate(r *Rule) {
+	idx := e.MatchIndices(r)
+	r.Matches = len(idx)
+	if len(idx) == 0 {
+		// No evidence at all: no consequent, floor fitness. Prediction
+		// keeps whatever prior value it had (initialization sets bin
+		// centers) so crowding distance stays meaningful.
+		r.Fit = nil
+		r.Error = math.Inf(1)
+		r.Fitness = e.fmin
+		return
+	}
+
+	xs := make([][]float64, len(idx))
+	ys := make([]float64, len(idx))
+	for k, i := range idx {
+		xs[k] = e.data.Inputs[i]
+		ys[k] = e.data.Targets[i]
+	}
+
+	if len(idx) == 1 {
+		// A single point determines a constant consequent; the paper's
+		// NR>1 gate keeps it at floor fitness regardless.
+		r.Fit = &linalg.LinearFit{Coef: make([]float64, e.data.D), Intercept: ys[0]}
+		r.Prediction = ys[0]
+		r.Error = 0
+		r.Fitness = e.fmin
+		return
+	}
+
+	fit, err := linalg.FitAffine(xs, ys, e.ridge)
+	if err != nil {
+		// Pathological geometry even with ridge: fall back to the mean
+		// predictor so the rule still has defined behaviour.
+		mean := 0.0
+		for _, y := range ys {
+			mean += y
+		}
+		mean /= float64(len(ys))
+		fit = &linalg.LinearFit{Coef: make([]float64, e.data.D), Intercept: mean}
+	}
+	r.Fit = fit
+	r.Error = fit.MaxAbsResidual(xs, ys)
+
+	// Representative prediction: mean regression output over matches.
+	sum := 0.0
+	for _, row := range xs {
+		sum += fit.Predict(row)
+	}
+	r.Prediction = sum / float64(len(xs))
+
+	if r.Matches > 1 && r.Error < e.emax {
+		r.Fitness = float64(r.Matches)*e.emax - r.Error
+	} else {
+		r.Fitness = e.fmin
+	}
+}
+
+// EvaluateAll evaluates every rule, parallelizing across rules (the
+// per-rule scan then runs serially, avoiding nested parallelism).
+func (e *Evaluator) EvaluateAll(rules []*Rule) {
+	serial := &Evaluator{data: e.data, emax: e.emax, fmin: e.fmin, ridge: e.ridge, workers: 1}
+	parallel.For(len(rules), e.workers, func(i int) { serial.Evaluate(rules[i]) })
+}

@@ -1,0 +1,148 @@
+// Package core implements the paper's contribution: a Michigan-style
+// evolutionary rule system for time series forecasting. Each
+// individual is a local prediction rule — one interval condition per
+// input lag (with wildcards) plus a linear-regression consequent
+// fitted on the training windows the rule matches. A steady-state EA
+// with 3-round proportional tournaments, uniform crossover, interval
+// mutation and crowding replacement evolves the population; the whole
+// population (accumulated over several executions) is the forecasting
+// system, which may abstain on patterns no rule matches.
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Interval is one gene of a rule's conditional part: either a closed
+// interval [Lo,Hi] constraining one input lag, or a wildcard (the
+// paper's "*") meaning the lag is irrelevant.
+type Interval struct {
+	Lo, Hi   float64
+	Wildcard bool
+}
+
+// Wild returns the wildcard interval.
+func Wild() Interval { return Interval{Wildcard: true} }
+
+// NewInterval returns the closed interval [lo,hi]; bounds are swapped
+// if given in reverse order so the interval is always well-formed.
+func NewInterval(lo, hi float64) Interval {
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	return Interval{Lo: lo, Hi: hi}
+}
+
+// Contains reports whether v satisfies the gene (always true for a
+// wildcard).
+func (iv Interval) Contains(v float64) bool {
+	if iv.Wildcard {
+		return true
+	}
+	return v >= iv.Lo && v <= iv.Hi
+}
+
+// Width returns Hi-Lo, or +Inf for a wildcard (it matches everything).
+func (iv Interval) Width() float64 {
+	if iv.Wildcard {
+		return math.Inf(1)
+	}
+	return iv.Hi - iv.Lo
+}
+
+// Center returns the midpoint; the center of a wildcard is 0 by
+// convention (callers only use centers of bounded intervals).
+func (iv Interval) Center() float64 {
+	if iv.Wildcard {
+		return 0
+	}
+	return (iv.Lo + iv.Hi) / 2
+}
+
+// Overlap returns the length of the intersection of two genes.
+// Wildcards overlap everything: the overlap with a wildcard is the
+// width of the other interval (or +Inf for two wildcards).
+func (iv Interval) Overlap(other Interval) float64 {
+	if iv.Wildcard {
+		return other.Width()
+	}
+	if other.Wildcard {
+		return iv.Width()
+	}
+	lo := math.Max(iv.Lo, other.Lo)
+	hi := math.Min(iv.Hi, other.Hi)
+	if hi < lo {
+		return 0
+	}
+	return hi - lo
+}
+
+// Enlarge grows the interval symmetrically by delta on each side.
+// Wildcards are unchanged.
+func (iv Interval) Enlarge(delta float64) Interval {
+	if iv.Wildcard {
+		return iv
+	}
+	return Interval{Lo: iv.Lo - delta, Hi: iv.Hi + delta}
+}
+
+// Shrink narrows the interval symmetrically by delta per side, never
+// collapsing past its midpoint. Wildcards are unchanged.
+func (iv Interval) Shrink(delta float64) Interval {
+	if iv.Wildcard {
+		return iv
+	}
+	mid := iv.Center()
+	lo, hi := iv.Lo+delta, iv.Hi-delta
+	if lo > mid {
+		lo = mid
+	}
+	if hi < mid {
+		hi = mid
+	}
+	return Interval{Lo: lo, Hi: hi}
+}
+
+// Shift translates the interval by delta (positive = up). Wildcards
+// are unchanged.
+func (iv Interval) Shift(delta float64) Interval {
+	if iv.Wildcard {
+		return iv
+	}
+	return Interval{Lo: iv.Lo + delta, Hi: iv.Hi + delta}
+}
+
+// Clamp restricts the interval to [lo,hi] (used to keep mutated genes
+// inside the observed data range). A wildcard stays wild. If the
+// interval leaves no overlap with [lo,hi] it collapses to the nearest
+// boundary point.
+func (iv Interval) Clamp(lo, hi float64) Interval {
+	if iv.Wildcard {
+		return iv
+	}
+	a, b := iv.Lo, iv.Hi
+	if a < lo {
+		a = lo
+	}
+	if b > hi {
+		b = hi
+	}
+	if a > b {
+		// Entirely outside: collapse to the nearest edge.
+		if iv.Hi < lo {
+			a, b = lo, lo
+		} else {
+			a, b = hi, hi
+		}
+	}
+	return Interval{Lo: a, Hi: b}
+}
+
+// String renders the gene as the paper writes it: "(lo,hi)" or "*".
+func (iv Interval) String() string {
+	if iv.Wildcard {
+		return "*"
+	}
+	return fmt.Sprintf("(%.4g,%.4g)", iv.Lo, iv.Hi)
+}

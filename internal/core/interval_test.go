@@ -1,0 +1,162 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestIntervalContains(t *testing.T) {
+	iv := NewInterval(2, 5)
+	for _, c := range []struct {
+		v    float64
+		want bool
+	}{{2, true}, {5, true}, {3.5, true}, {1.999, false}, {5.001, false}} {
+		if got := iv.Contains(c.v); got != c.want {
+			t.Fatalf("Contains(%v) = %v", c.v, got)
+		}
+	}
+}
+
+func TestIntervalSwapsReversedBounds(t *testing.T) {
+	iv := NewInterval(5, 2)
+	if iv.Lo != 2 || iv.Hi != 5 {
+		t.Fatalf("reversed bounds not swapped: %+v", iv)
+	}
+}
+
+func TestWildcardContainsEverything(t *testing.T) {
+	w := Wild()
+	for _, v := range []float64{-1e300, 0, 1e300, math.Pi} {
+		if !w.Contains(v) {
+			t.Fatalf("wildcard rejected %v", v)
+		}
+	}
+	if !math.IsInf(w.Width(), 1) {
+		t.Fatal("wildcard width not +Inf")
+	}
+}
+
+func TestIntervalWidthCenter(t *testing.T) {
+	iv := NewInterval(-2, 6)
+	if iv.Width() != 8 || iv.Center() != 2 {
+		t.Fatalf("width=%v center=%v", iv.Width(), iv.Center())
+	}
+}
+
+func TestOverlap(t *testing.T) {
+	a := NewInterval(0, 10)
+	b := NewInterval(5, 15)
+	if got := a.Overlap(b); got != 5 {
+		t.Fatalf("Overlap = %v", got)
+	}
+	if got := a.Overlap(NewInterval(20, 30)); got != 0 {
+		t.Fatalf("disjoint Overlap = %v", got)
+	}
+	if got := a.Overlap(Wild()); got != 10 {
+		t.Fatalf("wildcard Overlap = %v", got)
+	}
+	if got := Wild().Overlap(a); got != 10 {
+		t.Fatalf("wildcard Overlap (reverse) = %v", got)
+	}
+	if !math.IsInf(Wild().Overlap(Wild()), 1) {
+		t.Fatal("wild-wild overlap not +Inf")
+	}
+}
+
+func TestEnlargeShrinkShift(t *testing.T) {
+	iv := NewInterval(2, 6)
+	if got := iv.Enlarge(1); got.Lo != 1 || got.Hi != 7 {
+		t.Fatalf("Enlarge = %+v", got)
+	}
+	if got := iv.Shrink(1); got.Lo != 3 || got.Hi != 5 {
+		t.Fatalf("Shrink = %+v", got)
+	}
+	// Over-shrinking collapses to the midpoint, never inverts.
+	if got := iv.Shrink(10); got.Lo != 4 || got.Hi != 4 {
+		t.Fatalf("over-Shrink = %+v", got)
+	}
+	if got := iv.Shift(3); got.Lo != 5 || got.Hi != 9 {
+		t.Fatalf("Shift = %+v", got)
+	}
+	if got := iv.Shift(-3); got.Lo != -1 || got.Hi != 3 {
+		t.Fatalf("Shift(-3) = %+v", got)
+	}
+}
+
+func TestMutationOpsPreserveWildcard(t *testing.T) {
+	w := Wild()
+	for _, got := range []Interval{w.Enlarge(1), w.Shrink(1), w.Shift(1), w.Clamp(0, 1)} {
+		if !got.Wildcard {
+			t.Fatalf("mutation destroyed wildcard: %+v", got)
+		}
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if got := NewInterval(-5, 5).Clamp(0, 3); got.Lo != 0 || got.Hi != 3 {
+		t.Fatalf("Clamp = %+v", got)
+	}
+	// Entirely below the range collapses to the low edge.
+	if got := NewInterval(-10, -5).Clamp(0, 3); got.Lo != 0 || got.Hi != 0 {
+		t.Fatalf("below-range Clamp = %+v", got)
+	}
+	// Entirely above collapses to the high edge.
+	if got := NewInterval(7, 9).Clamp(0, 3); got.Lo != 3 || got.Hi != 3 {
+		t.Fatalf("above-range Clamp = %+v", got)
+	}
+}
+
+func TestIntervalString(t *testing.T) {
+	if Wild().String() != "*" {
+		t.Fatal("wildcard String")
+	}
+	if len(NewInterval(1, 2).String()) == 0 {
+		t.Fatal("empty interval String")
+	}
+}
+
+// Property: every mutation op yields a well-formed interval (Lo<=Hi)
+// and Clamp keeps it inside the bounds.
+func TestPropertyMutationWellFormed(t *testing.T) {
+	f := func(lo, hi, delta float64) bool {
+		if math.IsNaN(lo) || math.IsNaN(hi) || math.IsNaN(delta) {
+			return true
+		}
+		if math.Abs(lo) > 1e9 || math.Abs(hi) > 1e9 || math.Abs(delta) > 1e9 {
+			return true
+		}
+		d := math.Abs(delta)
+		iv := NewInterval(lo, hi)
+		for _, got := range []Interval{iv.Enlarge(d), iv.Shrink(d), iv.Shift(d), iv.Shift(-d)} {
+			if got.Lo > got.Hi {
+				return false
+			}
+		}
+		c := iv.Shift(d).Clamp(-100, 100)
+		return c.Lo >= -100 && c.Hi <= 100 && c.Lo <= c.Hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Enlarge never loses points — anything contained before is
+// contained after.
+func TestPropertyEnlargeMonotone(t *testing.T) {
+	f := func(lo, hi, v, delta float64) bool {
+		for _, x := range []float64{lo, hi, v, delta} {
+			if math.IsNaN(x) || math.Abs(x) > 1e9 {
+				return true
+			}
+		}
+		iv := NewInterval(lo, hi)
+		if !iv.Contains(v) {
+			return true
+		}
+		return iv.Enlarge(math.Abs(delta)).Contains(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/parallel"
+	"repro/internal/rng"
+	"repro/internal/series"
+)
+
+// MultiRunConfig drives §3.4's accumulation of executions: rules from
+// independent runs are merged into one RuleSet until the training-set
+// coverage reaches CoverageTarget or MaxExecutions runs have been
+// spent. Executions run Parallelism at a time on a worker pool; seeds
+// are split deterministically from the base config seed, so the result
+// is identical for any parallelism degree.
+type MultiRunConfig struct {
+	Base           Config  // per-execution configuration (seed is re-derived per run)
+	CoverageTarget float64 // stop once training coverage reaches this (e.g. 0.95); >1 disables early stopping
+	MaxExecutions  int     // hard cap on executions
+	Parallelism    int     // concurrent executions; 0 = GOMAXPROCS
+}
+
+// Validate checks the multi-run configuration.
+func (c *MultiRunConfig) Validate() error {
+	if err := c.Base.Validate(); err != nil {
+		return err
+	}
+	if c.CoverageTarget < 0 {
+		return fmt.Errorf("%w: CoverageTarget=%v must be non-negative", ErrConfig, c.CoverageTarget)
+	}
+	if c.MaxExecutions < 1 {
+		return fmt.Errorf("%w: MaxExecutions=%d must be at least 1", ErrConfig, c.MaxExecutions)
+	}
+	if c.Parallelism < 0 {
+		return fmt.Errorf("%w: Parallelism=%d must be non-negative", ErrConfig, c.Parallelism)
+	}
+	return nil
+}
+
+// MultiRunResult reports the accumulated system and per-execution
+// statistics.
+type MultiRunResult struct {
+	RuleSet    *RuleSet
+	Executions []Stats
+	Coverage   float64 // final training coverage
+}
+
+// MultiRun executes the paper's outer loop. Executions are launched
+// in waves of cfg.Parallelism; after each wave the accumulated
+// coverage is checked against the target.
+func MultiRun(cfg MultiRunConfig, data *series.Dataset) (*MultiRunResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	seeds := rng.New(cfg.Base.Seed).SplitN(cfg.MaxExecutions)
+	res := &MultiRunResult{RuleSet: NewRuleSet(data.D)}
+
+	wave := parallel.Workers(cfg.Parallelism)
+	for done := 0; done < cfg.MaxExecutions; {
+		n := wave
+		if done+n > cfg.MaxExecutions {
+			n = cfg.MaxExecutions - done
+		}
+		type runOut struct {
+			rules []*Rule
+			stats Stats
+			err   error
+		}
+		outs := make([]runOut, n)
+		parallel.For(n, n, func(i int) {
+			c := cfg.Base
+			c.Seed = seeds[done+i].Seed()
+			// Within a wave each execution occupies one goroutine; keep
+			// the inner match scans serial to avoid oversubscription.
+			c.Workers = 1
+			ex, err := NewExecution(c, data)
+			if err != nil {
+				outs[i] = runOut{err: err}
+				return
+			}
+			ex.Run()
+			outs[i] = runOut{rules: ex.ValidRules(), stats: ex.Stats}
+		})
+		for _, o := range outs {
+			if o.err != nil {
+				return nil, o.err
+			}
+			res.RuleSet.Add(o.rules...)
+			res.Executions = append(res.Executions, o.stats)
+		}
+		done += n
+		res.Coverage = res.RuleSet.Coverage(data)
+		if res.Coverage >= cfg.CoverageTarget {
+			break
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/rng"
+)
+
+// selectParent implements the paper's "three rounds trials" selection:
+// the configured number of independent fitness-proportional (roulette)
+// draws, keeping the fittest of the drawn candidates. Returns the
+// index of the selected individual.
+func selectParent(pop []*Rule, rounds int, src *rng.Source) int {
+	weights := make([]float64, len(pop))
+	for i, r := range pop {
+		weights[i] = r.Fitness
+	}
+	best := src.Roulette(weights)
+	for round := 1; round < rounds; round++ {
+		cand := src.Roulette(weights)
+		if pop[cand].Fitness > pop[best].Fitness {
+			best = cand
+		}
+	}
+	return best
+}
+
+// crossover produces one offspring by uniform crossover: each gene is
+// inherited from either parent with probability 1/2. Per the paper,
+// the offspring does NOT inherit prediction or error — those come from
+// re-evaluation.
+func crossover(a, b *Rule, src *rng.Source) *Rule {
+	d := len(a.Cond)
+	cond := make([]Interval, d)
+	for i := 0; i < d; i++ {
+		if src.Bool(0.5) {
+			cond[i] = a.Cond[i]
+		} else {
+			cond[i] = b.Cond[i]
+		}
+	}
+	child := NewRule(cond)
+	// Prior prediction (used only until evaluation, and only for
+	// distance when the child matches nothing): midpoint of parents.
+	child.Prediction = (a.Prediction + b.Prediction) / 2
+	return child
+}
+
+// mutator applies the paper's gene mutations — enlargement, shrink,
+// move up, move down — plus a wildcard toggle, with magnitudes scaled
+// to each lag's observed data range.
+type mutator struct {
+	rate         float64   // per-gene mutation probability
+	span         float64   // magnitude as a fraction of the lag's range
+	wildcardRate float64   // probability a mutation toggles wildcard
+	lagLo, lagHi []float64 // per-lag data bounds (clamping + magnitudes)
+}
+
+// newMutator captures per-lag data bounds from the dataset the
+// evaluator scores against.
+func newMutator(rate, span, wildcardRate float64, lagLo, lagHi []float64) *mutator {
+	return &mutator{rate: rate, span: span, wildcardRate: wildcardRate, lagLo: lagLo, lagHi: lagHi}
+}
+
+// mutate modifies the rule's genes in place.
+func (m *mutator) mutate(r *Rule, src *rng.Source) {
+	for j := range r.Cond {
+		if !src.Bool(m.rate) {
+			continue
+		}
+		lagRange := m.lagHi[j] - m.lagLo[j]
+		if lagRange == 0 {
+			lagRange = 1
+		}
+		if src.Bool(m.wildcardRate) {
+			if r.Cond[j].Wildcard {
+				// Re-materialize around a random center at mutation scale.
+				c := src.Uniform(m.lagLo[j], m.lagHi[j])
+				half := 0.5 * m.span * lagRange
+				r.Cond[j] = NewInterval(c-half, c+half).Clamp(m.lagLo[j], m.lagHi[j])
+			} else {
+				r.Cond[j] = Wild()
+			}
+			continue
+		}
+		if r.Cond[j].Wildcard {
+			continue // only the toggle path touches wildcards
+		}
+		delta := src.Uniform(0, m.span*lagRange)
+		switch src.Intn(4) {
+		case 0:
+			r.Cond[j] = r.Cond[j].Enlarge(delta)
+		case 1:
+			r.Cond[j] = r.Cond[j].Shrink(delta)
+		case 2:
+			r.Cond[j] = r.Cond[j].Shift(delta)
+		case 3:
+			r.Cond[j] = r.Cond[j].Shift(-delta)
+		}
+		r.Cond[j] = r.Cond[j].Clamp(m.lagLo[j], m.lagHi[j])
+	}
+}
+
+// ruleDistance computes the configured phenotypic distance between
+// two rules; predSpan normalizes prediction distances to the target
+// range so hybrid mixing is scale-free.
+func ruleDistance(a, b *Rule, kind DistanceKind, predSpan float64) float64 {
+	switch kind {
+	case DistancePrediction:
+		return math.Abs(a.Prediction - b.Prediction)
+	case DistanceOverlap:
+		return overlapDistance(a, b)
+	case DistanceHybrid:
+		p := math.Abs(a.Prediction-b.Prediction) / math.Max(predSpan, 1e-12)
+		return 0.5*math.Min(p, 1) + 0.5*overlapDistance(a, b)
+	default:
+		return math.Abs(a.Prediction - b.Prediction)
+	}
+}
+
+// overlapDistance is 1 - mean normalized per-gene overlap: 0 for
+// identical conditions, 1 for disjoint ones. Wildcards overlap
+// everything fully.
+func overlapDistance(a, b *Rule) float64 {
+	d := len(a.Cond)
+	if d == 0 {
+		return 0
+	}
+	total := 0.0
+	for j := 0; j < d; j++ {
+		ga, gb := a.Cond[j], b.Cond[j]
+		if ga.Wildcard || gb.Wildcard {
+			// A wildcard covers the other gene entirely.
+			total += 1
+			continue
+		}
+		ov := ga.Overlap(gb)
+		union := math.Max(ga.Hi, gb.Hi) - math.Min(ga.Lo, gb.Lo)
+		if union <= 0 {
+			// Both degenerate points: identical iff equal.
+			if ga.Lo == gb.Lo {
+				total += 1
+			}
+			continue
+		}
+		total += ov / union
+	}
+	return 1 - total/float64(d)
+}
+
+// nearestIndex returns the population index phenotypically closest to
+// the candidate rule (crowding replacement target).
+func nearestIndex(pop []*Rule, cand *Rule, kind DistanceKind, predSpan float64) int {
+	best := 0
+	bestDist := math.Inf(1)
+	for i, r := range pop {
+		if d := ruleDistance(r, cand, kind, predSpan); d < bestDist {
+			best, bestDist = i, d
+		}
+	}
+	return best
+}

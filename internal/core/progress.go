@@ -1,0 +1,75 @@
+package core
+
+// Progress reporting and early stopping for long executions: the
+// paper's full protocol runs 75,000 generations per execution, so
+// production use needs visibility into the trajectory and a way to
+// stop spending budget once the population has converged.
+
+// Progress is a point-in-time snapshot passed to progress callbacks.
+type Progress struct {
+	Generation   int
+	BestFitness  float64
+	MeanFitness  float64
+	Replacements int // cumulative offspring accepted
+}
+
+// snapshot builds a Progress from the current population.
+func (ex *Execution) snapshot() Progress {
+	best, sum := ex.Pop[0].Fitness, 0.0
+	for _, r := range ex.Pop {
+		if r.Fitness > best {
+			best = r.Fitness
+		}
+		sum += r.Fitness
+	}
+	return Progress{
+		Generation:   ex.Stats.Generations,
+		BestFitness:  best,
+		MeanFitness:  sum / float64(len(ex.Pop)),
+		Replacements: ex.Stats.Replacements,
+	}
+}
+
+// RunWithProgress behaves like Run but invokes fn every `every`
+// generations (and once more at the end). fn returning false stops
+// the execution early. every < 1 is treated as 1.
+func (ex *Execution) RunWithProgress(every int, fn func(Progress) bool) {
+	if every < 1 {
+		every = 1
+	}
+	for g := 0; g < ex.Config.Generations; g++ {
+		ex.Step()
+		if (g+1)%every == 0 {
+			if !fn(ex.snapshot()) {
+				break
+			}
+		}
+	}
+	ex.refreshStats()
+	fn(ex.snapshot())
+}
+
+// RunUntilStagnant runs at most the configured number of generations
+// but stops once `patience` consecutive generations pass without any
+// offspring entering the population — the steady-state analogue of
+// early stopping. Returns the number of generations actually run.
+func (ex *Execution) RunUntilStagnant(patience int) int {
+	if patience < 1 {
+		patience = 1
+	}
+	idle := 0
+	ran := 0
+	for g := 0; g < ex.Config.Generations; g++ {
+		if ex.Step() {
+			idle = 0
+		} else {
+			idle++
+		}
+		ran++
+		if idle >= patience {
+			break
+		}
+	}
+	ex.refreshStats()
+	return ran
+}

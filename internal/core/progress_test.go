@@ -1,0 +1,116 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestRunWithProgressCallbackCadence(t *testing.T) {
+	ds := sineDataset(t, 300, 3)
+	cfg := quickConfig(3, 61)
+	cfg.Generations = 100
+	ex, err := NewExecution(cfg, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var calls []int
+	ex.RunWithProgress(25, func(p Progress) bool {
+		calls = append(calls, p.Generation)
+		return true
+	})
+	// Callbacks at 25, 50, 75, 100 plus the final snapshot (also 100).
+	if len(calls) != 5 {
+		t.Fatalf("callback count %d: %v", len(calls), calls)
+	}
+	if calls[0] != 25 || calls[3] != 100 || calls[4] != 100 {
+		t.Fatalf("callback generations %v", calls)
+	}
+	if ex.Stats.Generations != 100 {
+		t.Fatalf("ran %d generations", ex.Stats.Generations)
+	}
+}
+
+func TestRunWithProgressEarlyStop(t *testing.T) {
+	ds := sineDataset(t, 300, 3)
+	cfg := quickConfig(3, 62)
+	cfg.Generations = 1000
+	ex, err := NewExecution(cfg, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex.RunWithProgress(10, func(p Progress) bool {
+		return p.Generation < 50 // stop at the 50-generation snapshot
+	})
+	if ex.Stats.Generations != 50 {
+		t.Fatalf("early stop ran %d generations, want 50", ex.Stats.Generations)
+	}
+}
+
+func TestRunWithProgressMonotoneBest(t *testing.T) {
+	ds := sineDataset(t, 300, 3)
+	cfg := quickConfig(3, 63)
+	cfg.Generations = 200
+	ex, err := NewExecution(cfg, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := -1e300
+	ex.RunWithProgress(20, func(p Progress) bool {
+		if p.BestFitness < prev-1e-9 {
+			t.Fatalf("best fitness dropped: %v -> %v", prev, p.BestFitness)
+		}
+		prev = p.BestFitness
+		return true
+	})
+}
+
+func TestRunWithProgressClampsEvery(t *testing.T) {
+	ds := sineDataset(t, 300, 3)
+	cfg := quickConfig(3, 64)
+	cfg.Generations = 5
+	ex, err := NewExecution(cfg, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	ex.RunWithProgress(0, func(Progress) bool { calls++; return true })
+	if calls != 6 { // every generation + final
+		t.Fatalf("calls = %d, want 6", calls)
+	}
+}
+
+func TestRunUntilStagnant(t *testing.T) {
+	ds := sineDataset(t, 300, 3)
+	cfg := quickConfig(3, 65)
+	cfg.Generations = 5000
+	ex, err := NewExecution(cfg, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ran := ex.RunUntilStagnant(30)
+	if ran > 5000 {
+		t.Fatalf("ran %d > budget", ran)
+	}
+	if ran < 30 {
+		t.Fatalf("stopped after only %d generations", ran)
+	}
+	// Either exhausted the budget or stopped on 30 idle generations;
+	// in the latter case the run must be shorter than the budget.
+	if ran < 5000 && ex.Stats.Generations != ran {
+		t.Fatalf("stats generations %d != ran %d", ex.Stats.Generations, ran)
+	}
+}
+
+func TestRunUntilStagnantPatienceClamp(t *testing.T) {
+	ds := sineDataset(t, 200, 3)
+	cfg := quickConfig(3, 66)
+	cfg.Generations = 50
+	ex, err := NewExecution(cfg, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// patience < 1 behaves as 1 (stop on first idle generation).
+	ran := ex.RunUntilStagnant(0)
+	if ran < 1 || ran > 50 {
+		t.Fatalf("ran %d", ran)
+	}
+}

@@ -1,0 +1,13 @@
+package core
+
+import "repro/internal/series"
+
+// datasetFromValues windows raw values, returning nil when the series
+// is too short — property tests treat that as a vacuous case.
+func datasetFromValues(v []float64, d, horizon int) *series.Dataset {
+	ds, err := series.Window(series.New("prop", v), d, horizon)
+	if err != nil {
+		return nil
+	}
+	return ds
+}

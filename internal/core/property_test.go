@@ -1,0 +1,149 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/linalg"
+	"repro/internal/rng"
+)
+
+// Property: serialization round-trips arbitrary rule sets — the
+// reloaded system predicts identically on random patterns.
+func TestPropertySerializationRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		src := rng.New(seed)
+		d := 1 + src.Intn(6)
+		rs := NewRuleSet(d)
+		nRules := 1 + src.Intn(8)
+		for r := 0; r < nRules; r++ {
+			cond := make([]Interval, d)
+			for j := range cond {
+				if src.Bool(0.2) {
+					cond[j] = Wild()
+				} else {
+					cond[j] = NewInterval(src.Uniform(-5, 5), src.Uniform(-5, 5))
+				}
+			}
+			rule := NewRule(cond)
+			rule.Prediction = src.Uniform(-3, 3)
+			rule.Matches = src.Intn(100)
+			rule.Fitness = src.Uniform(0, 10)
+			if src.Bool(0.8) {
+				coef := make([]float64, d)
+				for j := range coef {
+					coef[j] = src.Uniform(-2, 2)
+				}
+				rule.Fit = &linalg.LinearFit{Coef: coef, Intercept: src.Uniform(-1, 1)}
+				rule.Error = src.Uniform(0, 2)
+			}
+			rs.Add(rule)
+		}
+
+		var buf bytes.Buffer
+		if err := rs.WriteJSON(&buf); err != nil {
+			return false
+		}
+		got, err := ReadJSON(&buf)
+		if err != nil {
+			return false
+		}
+		for trial := 0; trial < 20; trial++ {
+			pattern := make([]float64, d)
+			for j := range pattern {
+				pattern[j] = src.Uniform(-6, 6)
+			}
+			v1, ok1 := rs.Predict(pattern)
+			v2, ok2 := got.Predict(pattern)
+			if ok1 != ok2 {
+				return false
+			}
+			if ok1 && math.Abs(v1-v2) > 1e-12*(1+math.Abs(v1)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the paper's fitness is monotone — holding error fixed,
+// more matches can only raise it; holding matches fixed, lower error
+// can only raise it (within the valid gate).
+func TestPropertyFitnessMonotone(t *testing.T) {
+	const emax = 1.0
+	fitness := func(matches int, errVal float64) float64 {
+		if matches > 1 && errVal < emax {
+			return float64(matches)*emax - errVal
+		}
+		return 0 // f_min
+	}
+	f := func(m1Raw, m2Raw uint8, e1Raw, e2Raw float64) bool {
+		m1 := 2 + int(m1Raw)%100
+		m2 := m1 + 1 + int(m2Raw)%50
+		e1 := math.Mod(math.Abs(e1Raw), emax*0.999)
+		e2 := e1 * math.Mod(math.Abs(e2Raw), 1) // e2 <= e1
+		if math.IsNaN(e1) || math.IsNaN(e2) {
+			return true
+		}
+		// More matches, same error → fitter.
+		if fitness(m2, e1) <= fitness(m1, e1) {
+			return false
+		}
+		// Same matches, lower-or-equal error → at least as fit.
+		return fitness(m1, e2) >= fitness(m1, e1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: evaluation on a dataset always yields internally
+// consistent rules: Matches >= 0; valid fitness implies Matches > 1
+// and Error < EMAX; rules with matches carry a consequent.
+func TestPropertyEvaluateConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		src := rng.New(seed)
+		// Random small dataset.
+		n := 30 + src.Intn(50)
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = src.Uniform(-2, 2)
+		}
+		ds := datasetFromValues(v, 3, 1)
+		if ds == nil {
+			return true
+		}
+		ev := NewEvaluator(ds, 0.8, -5, 1e-8, 1)
+		// Random rule.
+		cond := make([]Interval, 3)
+		for j := range cond {
+			if src.Bool(0.3) {
+				cond[j] = Wild()
+			} else {
+				cond[j] = NewInterval(src.Uniform(-2, 2), src.Uniform(-2, 2))
+			}
+		}
+		r := NewRule(cond)
+		ev.Evaluate(r)
+		if r.Matches < 0 {
+			return false
+		}
+		if r.Matches > 0 && !r.Fitted() {
+			return false
+		}
+		if r.Fitness > -5 { // above the floor: the gate must hold
+			if r.Matches <= 1 || r.Error >= 0.8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

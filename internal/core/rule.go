@@ -1,0 +1,115 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/linalg"
+)
+
+// Rule is one individual: a conditional part C_R (one Interval per
+// input lag) and a predicting part P_R.
+//
+// The paper's predicting part is {p_R, e_R}. p_R is realized as the
+// linear-regression hyperplane fitted over the matched training
+// points (coefficients in Fit); Prediction keeps a representative
+// scalar (the mean regression output over the matched points) used
+// for phenotypic crowding distance and display; Error is e_R, the
+// maximum absolute regression residual over the matched points.
+type Rule struct {
+	Cond []Interval // one gene per input lag, length D
+
+	Fit        *linalg.LinearFit // regression consequent; nil until fitted
+	Prediction float64           // representative p_R
+	Error      float64           // e_R = max |v_i - ṽ_i| over matches
+	Matches    int               // N_R = |C_R(S)| on the training set
+	Fitness    float64           // paper fitness; FMin when degenerate
+}
+
+// NewRule returns an unfitted rule with the given conditional part.
+func NewRule(cond []Interval) *Rule {
+	return &Rule{Cond: cond, Error: math.Inf(1)}
+}
+
+// D returns the number of input lags the rule conditions on.
+func (r *Rule) D() int { return len(r.Cond) }
+
+// Match reports whether the pattern satisfies every gene. The pattern
+// length must equal D.
+func (r *Rule) Match(pattern []float64) bool {
+	if len(pattern) != len(r.Cond) {
+		panic(fmt.Sprintf("core: rule with D=%d matched against pattern of length %d", len(r.Cond), len(pattern)))
+	}
+	for i, iv := range r.Cond {
+		if iv.Wildcard {
+			continue
+		}
+		v := pattern[i]
+		if v < iv.Lo || v > iv.Hi {
+			return false
+		}
+	}
+	return true
+}
+
+// Output evaluates the rule's consequent at the pattern. The rule
+// must be fitted.
+func (r *Rule) Output(pattern []float64) float64 {
+	if r.Fit == nil {
+		panic("core: Output on unfitted rule")
+	}
+	return r.Fit.Predict(pattern)
+}
+
+// Fitted reports whether the rule carries a usable consequent.
+func (r *Rule) Fitted() bool { return r.Fit != nil }
+
+// Clone returns a deep copy of the rule.
+func (r *Rule) Clone() *Rule {
+	out := &Rule{
+		Cond:       append([]Interval(nil), r.Cond...),
+		Prediction: r.Prediction,
+		Error:      r.Error,
+		Matches:    r.Matches,
+		Fitness:    r.Fitness,
+	}
+	if r.Fit != nil {
+		out.Fit = &linalg.LinearFit{
+			Coef:      append([]float64(nil), r.Fit.Coef...),
+			Intercept: r.Fit.Intercept,
+		}
+	}
+	return out
+}
+
+// Specificity returns the fraction of non-wildcard genes, a
+// diversity/generality diagnostic.
+func (r *Rule) Specificity() float64 {
+	if len(r.Cond) == 0 {
+		return 0
+	}
+	n := 0
+	for _, iv := range r.Cond {
+		if !iv.Wildcard {
+			n++
+		}
+	}
+	return float64(n) / float64(len(r.Cond))
+}
+
+// String renders the rule in the paper's flat encoding:
+// (lo1, hi1, lo2, hi2, ..., *, *, ..., p, e).
+func (r *Rule) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for _, iv := range r.Cond {
+		if iv.Wildcard {
+			b.WriteString("*, *, ")
+		} else {
+			fmt.Fprintf(&b, "%.4g, %.4g, ", iv.Lo, iv.Hi)
+		}
+	}
+	fmt.Fprintf(&b, "%.4g, %.4g)", r.Prediction, r.Error)
+	return b.String()
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/linalg"
+)
+
+func twoGeneRule() *Rule {
+	return NewRule([]Interval{NewInterval(0, 10), NewInterval(5, 6)})
+}
+
+func TestRuleMatch(t *testing.T) {
+	r := twoGeneRule()
+	if !r.Match([]float64{3, 5.5}) {
+		t.Fatal("in-range pattern rejected")
+	}
+	if r.Match([]float64{3, 7}) {
+		t.Fatal("out-of-range pattern accepted")
+	}
+	if r.Match([]float64{-1, 5.5}) {
+		t.Fatal("out-of-range first gene accepted")
+	}
+}
+
+func TestRuleMatchWildcards(t *testing.T) {
+	r := NewRule([]Interval{Wild(), NewInterval(5, 6)})
+	if !r.Match([]float64{1e9, 5.5}) {
+		t.Fatal("wildcard gene not ignored")
+	}
+}
+
+func TestRuleMatchPanicsOnWidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("width mismatch did not panic")
+		}
+	}()
+	twoGeneRule().Match([]float64{1})
+}
+
+func TestRuleOutputRequiresFit(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Output on unfitted rule did not panic")
+		}
+	}()
+	twoGeneRule().Output([]float64{1, 5.5})
+}
+
+func TestRuleOutputUsesRegression(t *testing.T) {
+	r := twoGeneRule()
+	r.Fit = &linalg.LinearFit{Coef: []float64{2, -1}, Intercept: 3}
+	if got := r.Output([]float64{1, 5}); got != 0 {
+		t.Fatalf("Output = %v, want 2*1 - 1*5 + 3 = 0", got)
+	}
+}
+
+func TestRuleClone(t *testing.T) {
+	r := twoGeneRule()
+	r.Fit = &linalg.LinearFit{Coef: []float64{1, 2}, Intercept: 3}
+	r.Prediction, r.Error, r.Matches, r.Fitness = 5, 0.5, 7, 12
+	c := r.Clone()
+	c.Cond[0] = Wild()
+	c.Fit.Coef[0] = 99
+	c.Prediction = -1
+	if r.Cond[0].Wildcard || r.Fit.Coef[0] != 1 || r.Prediction != 5 {
+		t.Fatal("Clone shares state with original")
+	}
+	if c.Error != 0.5 || c.Matches != 7 || c.Fitness != 12 {
+		t.Fatal("Clone lost fields")
+	}
+}
+
+func TestRuleCloneUnfitted(t *testing.T) {
+	c := twoGeneRule().Clone()
+	if c.Fit != nil {
+		t.Fatal("unfitted clone grew a Fit")
+	}
+	if !math.IsInf(c.Error, 1) {
+		t.Fatal("unfitted clone lost +Inf error")
+	}
+}
+
+func TestSpecificity(t *testing.T) {
+	r := NewRule([]Interval{Wild(), NewInterval(0, 1), NewInterval(1, 2), Wild()})
+	if got := r.Specificity(); got != 0.5 {
+		t.Fatalf("Specificity = %v", got)
+	}
+	if got := NewRule(nil).Specificity(); got != 0 {
+		t.Fatalf("empty Specificity = %v", got)
+	}
+}
+
+func TestRuleStringPaperEncoding(t *testing.T) {
+	r := NewRule([]Interval{NewInterval(50, 100), Wild()})
+	r.Prediction, r.Error = 33, 5
+	s := r.String()
+	for _, want := range []string{"50", "100", "*", "33", "5"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String %q missing %q", s, want)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package core
+
+// Rule subsumption: a classifier-system compaction pass. Accumulating
+// rules over many executions (§3.4) breeds redundancy — specific rules
+// whose region is entirely contained in a more general rule that
+// predicts at least as well. Removing them shrinks the system without
+// changing coverage, which matters when the rule set is the artifact
+// shipped to production.
+
+// Subsumes reports whether rule a subsumes rule b: every gene of a
+// contains the corresponding gene of b (so a matches everywhere b
+// does) and a's training error is no worse. Both rules must be
+// fitted; identical rules subsume each other.
+func Subsumes(a, b *Rule) bool {
+	if !a.Fitted() || !b.Fitted() || len(a.Cond) != len(b.Cond) {
+		return false
+	}
+	if a.Error > b.Error {
+		return false
+	}
+	for j := range a.Cond {
+		ga, gb := a.Cond[j], b.Cond[j]
+		if ga.Wildcard {
+			continue // wildcard contains everything
+		}
+		if gb.Wildcard {
+			return false // bounded gene cannot contain a wildcard
+		}
+		if gb.Lo < ga.Lo || gb.Hi > ga.Hi {
+			return false
+		}
+	}
+	return true
+}
+
+// Compact removes every rule subsumed by another rule in the set and
+// returns the number removed. When two rules subsume each other
+// (identical conditions and errors) the one appearing first survives.
+// O(n²·D); intended for the final accumulated system, not the inner
+// evolution loop.
+func (rs *RuleSet) Compact() int {
+	n := len(rs.Rules)
+	dead := make([]bool, n)
+	for i := 0; i < n; i++ {
+		if dead[i] {
+			continue
+		}
+		for j := 0; j < n; j++ {
+			if i == j || dead[j] || dead[i] {
+				continue
+			}
+			if Subsumes(rs.Rules[i], rs.Rules[j]) {
+				dead[j] = true
+			}
+		}
+	}
+	kept := rs.Rules[:0]
+	removed := 0
+	for i, r := range rs.Rules {
+		if dead[i] {
+			removed++
+			continue
+		}
+		kept = append(kept, r)
+	}
+	rs.Rules = kept
+	return removed
+}

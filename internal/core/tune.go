@@ -1,0 +1,153 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/parallel"
+	"repro/internal/series"
+)
+
+// Hyperparameter tuning. EMAX is the one parameter of the paper's
+// fitness the results are sensitive to (see EXPERIMENTS.md): too
+// tight and coverage collapses, too loose and sloppy rules drag the
+// mean down. TuneEMax grid-searches it on a holdout split, scoring
+// candidates by a coverage-penalized error so abstaining on
+// everything cannot win.
+
+// TuneConfig drives the EMAX grid search.
+type TuneConfig struct {
+	Base        Config    // evolution settings (EMax is overwritten per candidate)
+	Fractions   []float64 // EMAX candidates as fractions of the training output span
+	HoldoutFrac float64   // trailing fraction of the data reserved for scoring
+	MinCoverage float64   // candidates below this holdout coverage are rejected
+	Parallelism int       // concurrent candidates; 0 = GOMAXPROCS
+}
+
+// DefaultTune returns a sensible grid for a window width d.
+func DefaultTune(d int) TuneConfig {
+	base := Default(d)
+	base.Generations = 2000 // tuning runs are short probes
+	return TuneConfig{
+		Base:        base,
+		Fractions:   []float64{0.05, 0.1, 0.2, 0.3, 0.45},
+		HoldoutFrac: 0.25,
+		MinCoverage: 0.2,
+	}
+}
+
+// Validate checks the tuning configuration.
+func (c *TuneConfig) Validate() error {
+	if err := c.Base.Validate(); err != nil {
+		return err
+	}
+	if len(c.Fractions) == 0 {
+		return fmt.Errorf("%w: no EMAX fractions to try", ErrConfig)
+	}
+	for _, f := range c.Fractions {
+		if f <= 0 {
+			return fmt.Errorf("%w: EMAX fraction %v must be positive", ErrConfig, f)
+		}
+	}
+	if c.HoldoutFrac <= 0 || c.HoldoutFrac >= 1 {
+		return fmt.Errorf("%w: HoldoutFrac=%v outside (0,1)", ErrConfig, c.HoldoutFrac)
+	}
+	if c.MinCoverage < 0 || c.MinCoverage > 1 {
+		return fmt.Errorf("%w: MinCoverage=%v outside [0,1]", ErrConfig, c.MinCoverage)
+	}
+	return nil
+}
+
+// TuneCandidate is one scored grid point.
+type TuneCandidate struct {
+	Fraction float64
+	EMax     float64
+	RMSE     float64 // holdout RMSE over covered points
+	Coverage float64 // holdout coverage
+	Score    float64 // RMSE / coverage (lower is better); +Inf when rejected
+	Rules    int
+}
+
+// TuneResult reports every candidate and the winner.
+type TuneResult struct {
+	Candidates []TuneCandidate
+	Best       TuneCandidate
+	BestEMax   float64
+}
+
+// TuneEMax evaluates every EMAX fraction with a short evolution on
+// the leading split and scores it on the holdout. The returned
+// BestEMax plugs directly into Config.EMax for the full run.
+func TuneEMax(cfg TuneConfig, data *series.Dataset) (*TuneResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cut := int((1 - cfg.HoldoutFrac) * float64(data.Len()))
+	if cut < 2 || cut >= data.Len() {
+		return nil, fmt.Errorf("%w: dataset of %d patterns cannot hold out %.0f%%",
+			ErrConfig, data.Len(), 100*cfg.HoldoutFrac)
+	}
+	train, holdout := data.Split(cut)
+	lo, hi := train.TargetRange()
+	span := hi - lo
+	if span == 0 {
+		span = 1
+	}
+
+	cands := make([]TuneCandidate, len(cfg.Fractions))
+	errs := make([]error, len(cfg.Fractions)) // one slot per goroutine: no shared writes
+	parallel.For(len(cfg.Fractions), cfg.Parallelism, func(i int) {
+		frac := cfg.Fractions[i]
+		c := cfg.Base
+		c.EMax = frac * span
+		c.Workers = 1
+		ex, err := NewExecution(c, train)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		ex.Run()
+		rs := NewRuleSet(train.D)
+		rs.Add(ex.ValidRules()...)
+		cand := TuneCandidate{Fraction: frac, EMax: c.EMax, Rules: rs.Len(), Score: math.Inf(1)}
+		var se float64
+		covered := 0
+		for p, pattern := range holdout.Inputs {
+			v, ok := rs.Predict(pattern)
+			if !ok {
+				continue
+			}
+			covered++
+			d := v - holdout.Targets[p]
+			se += d * d
+		}
+		if covered > 0 {
+			cand.Coverage = float64(covered) / float64(holdout.Len())
+			cand.RMSE = math.Sqrt(se / float64(covered))
+			if cand.Coverage >= cfg.MinCoverage {
+				cand.Score = cand.RMSE / cand.Coverage
+			}
+		}
+		cands[i] = cand
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	res := &TuneResult{Candidates: cands}
+	best := 0
+	for i := 1; i < len(cands); i++ {
+		if cands[i].Score < cands[best].Score {
+			best = i
+		}
+	}
+	if math.IsInf(cands[best].Score, 1) {
+		return nil, fmt.Errorf("core: every EMAX candidate fell below %.0f%% holdout coverage",
+			100*cfg.MinCoverage)
+	}
+	res.Best = cands[best]
+	res.BestEMax = cands[best].EMax
+	return res, nil
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func tuneConfig() TuneConfig {
+	cfg := DefaultTune(3)
+	cfg.Base.PopSize = 20
+	cfg.Base.Generations = 300
+	cfg.Base.Seed = 5
+	cfg.Fractions = []float64{0.05, 0.15, 0.4}
+	return cfg
+}
+
+func TestTuneConfigValidate(t *testing.T) {
+	good := tuneConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good config rejected: %v", err)
+	}
+	bad := tuneConfig()
+	bad.Fractions = nil
+	if err := bad.Validate(); !errors.Is(err, ErrConfig) {
+		t.Fatal("empty grid accepted")
+	}
+	bad = tuneConfig()
+	bad.Fractions = []float64{0}
+	if err := bad.Validate(); !errors.Is(err, ErrConfig) {
+		t.Fatal("zero fraction accepted")
+	}
+	bad = tuneConfig()
+	bad.HoldoutFrac = 1.5
+	if err := bad.Validate(); !errors.Is(err, ErrConfig) {
+		t.Fatal("bad holdout accepted")
+	}
+	bad = tuneConfig()
+	bad.MinCoverage = 2
+	if err := bad.Validate(); !errors.Is(err, ErrConfig) {
+		t.Fatal("bad MinCoverage accepted")
+	}
+	bad = tuneConfig()
+	bad.Base.PopSize = 0
+	if err := bad.Validate(); !errors.Is(err, ErrConfig) {
+		t.Fatal("bad base accepted")
+	}
+}
+
+func TestTuneEMaxSelectsWorkingCandidate(t *testing.T) {
+	ds := sineDataset(t, 500, 3)
+	res, err := TuneEMax(tuneConfig(), ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Candidates) != 3 {
+		t.Fatalf("candidates %d", len(res.Candidates))
+	}
+	if res.BestEMax <= 0 {
+		t.Fatalf("BestEMax %v", res.BestEMax)
+	}
+	if math.IsInf(res.Best.Score, 1) {
+		t.Fatal("winner has infinite score")
+	}
+	if res.Best.Coverage < 0.2 {
+		t.Fatalf("winner coverage %v below MinCoverage", res.Best.Coverage)
+	}
+	// The winner's score must be the grid minimum.
+	for _, c := range res.Candidates {
+		if c.Score < res.Best.Score {
+			t.Fatalf("candidate %v beats the declared winner %v", c, res.Best)
+		}
+	}
+}
+
+func TestTuneEMaxDeterministicAcrossParallelism(t *testing.T) {
+	ds := sineDataset(t, 400, 3)
+	run := func(par int) *TuneResult {
+		cfg := tuneConfig()
+		cfg.Parallelism = par
+		res, err := TuneEMax(cfg, ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(1), run(3)
+	if a.BestEMax != b.BestEMax {
+		t.Fatalf("parallelism changed the winner: %v vs %v", a.BestEMax, b.BestEMax)
+	}
+	for i := range a.Candidates {
+		if a.Candidates[i].Score != b.Candidates[i].Score {
+			t.Fatalf("candidate %d score differs across parallelism", i)
+		}
+	}
+}
+
+func TestTuneEMaxRejectsTinyDataset(t *testing.T) {
+	ds := sineDataset(t, 400, 3)
+	tiny, _ := ds.Split(4)
+	cfg := tuneConfig()
+	if _, err := TuneEMax(cfg, tiny); err == nil {
+		t.Fatal("tiny dataset accepted")
+	}
+}
+
+func TestTuneEMaxAllRejected(t *testing.T) {
+	ds := sineDataset(t, 400, 3)
+	cfg := tuneConfig()
+	cfg.MinCoverage = 1.01 // unreachable
+	if _, err := TuneEMax(cfg, ds); err == nil {
+		t.Fatal("impossible MinCoverage did not error")
+	}
+}

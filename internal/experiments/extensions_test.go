@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTradeoffTinyRuns(t *testing.T) {
+	res, err := Tradeoff(Tiny(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 6 {
+		t.Fatalf("rows %d", len(res.Rows))
+	}
+	// Coverage must be non-increasing as pruning tightens.
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i].CoveragePct > res.Rows[i-1].CoveragePct+1e-9 {
+			t.Fatalf("coverage increased under stricter pruning: %v -> %v",
+				res.Rows[i-1].CoveragePct, res.Rows[i].CoveragePct)
+		}
+		if res.Rows[i].Rules > res.Rows[i-1].Rules {
+			t.Fatalf("rule count increased under stricter pruning")
+		}
+	}
+	if !strings.Contains(res.Format(), "tradeoff") {
+		t.Fatal("Format missing title")
+	}
+}
+
+func TestHorizonStabilityTinyRuns(t *testing.T) {
+	res, err := HorizonStability(Tiny(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("rows %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.Rules == 0 {
+			t.Fatalf("h=%d produced no rules", row.Horizon)
+		}
+		if row.CoveragePct < 0 || row.CoveragePct > 100 {
+			t.Fatalf("h=%d coverage %v", row.Horizon, row.CoveragePct)
+		}
+	}
+	if !strings.Contains(res.Format(), "Horizon stability") {
+		t.Fatal("Format missing title")
+	}
+}
+
+func TestNoiseRobustnessTinyRuns(t *testing.T) {
+	res, err := NoiseRobustness(Tiny(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows %d", len(res.Rows))
+	}
+	if res.Rows[0].NoiseFrac != 0 {
+		t.Fatal("first row must be the clean baseline")
+	}
+	clean := res.Rows[0].NMSERules
+	worst := res.Rows[len(res.Rows)-1].NMSERules
+	if !math.IsNaN(clean) && !math.IsNaN(worst) && worst < clean/2 {
+		t.Fatalf("heavy noise (NMSE %v) implausibly better than clean (%v)", worst, clean)
+	}
+	if !strings.Contains(res.Format(), "Noise robustness") {
+		t.Fatal("Format missing title")
+	}
+}
+
+func TestMichiganVsPittsburghTinyRuns(t *testing.T) {
+	res, err := MichiganVsPittsburgh(Tiny(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows %d", len(res.Rows))
+	}
+	names := map[string]bool{}
+	for _, row := range res.Rows {
+		names[row.Approach] = true
+		if row.Rules == 0 {
+			t.Fatalf("%q produced no rules", row.Approach)
+		}
+	}
+	for _, want := range []string{"Michigan (paper)", "Michigan + islands", "Pittsburgh"} {
+		if !names[want] {
+			t.Fatalf("missing approach %q", want)
+		}
+	}
+	if !strings.Contains(res.Format(), "Pittsburgh") {
+		t.Fatal("Format missing title")
+	}
+}
+
+func TestGeneralizationTinyRuns(t *testing.T) {
+	res, err := Generalization(Tiny(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows %d", len(res.Rows))
+	}
+	names := map[string]bool{}
+	for _, row := range res.Rows {
+		names[row.Learner] = true
+		if row.CoveragePct <= 0 {
+			t.Fatalf("%q coverage %v", row.Learner, row.CoveragePct)
+		}
+	}
+	for _, want := range []string{"rule system", "RAN", "AR(12)"} {
+		if !names[want] {
+			t.Fatalf("missing learner %q", want)
+		}
+	}
+	if !strings.Contains(res.Format(), "Lorenz") {
+		t.Fatal("Format missing title")
+	}
+}
+
+func TestExtensionsRejectBadScale(t *testing.T) {
+	bad := Tiny()
+	bad.Generations = 0
+	if _, err := Tradeoff(bad, 1); err == nil {
+		t.Fatal("Tradeoff accepted bad scale")
+	}
+	if _, err := HorizonStability(bad, 1); err == nil {
+		t.Fatal("HorizonStability accepted bad scale")
+	}
+	if _, err := NoiseRobustness(bad, 1); err == nil {
+		t.Fatal("NoiseRobustness accepted bad scale")
+	}
+	if _, err := MichiganVsPittsburgh(bad, 1); err == nil {
+		t.Fatal("MichiganVsPittsburgh accepted bad scale")
+	}
+	if _, err := Generalization(bad, 1); err == nil {
+		t.Fatal("Generalization accepted bad scale")
+	}
+}

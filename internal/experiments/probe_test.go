@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/series"
+)
+
+// TestProbeEMax is a manual tuning aid, skipped unless PROBE_EMAX=1:
+// it sweeps EMAX fractions on Venice horizons to expose the
+// coverage/error tradeoff that Table 1 tuning relies on.
+func TestProbeEMax(t *testing.T) {
+	if os.Getenv("PROBE_EMAX") == "" {
+		t.Skip("set PROBE_EMAX=1 to run the EMAX sweep")
+	}
+	trainSeries, valSeries, err := series.VenicePaper(6000, 1500, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range []int{4, 12, 72} {
+		train, err := series.Window(trainSeries, 24, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		val, err := series.Window(valSeries, 24, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lo, hi := train.TargetRange()
+		span := hi - lo
+		for _, frac := range []float64{0.1, 0.2, 0.3, 0.45} {
+			base := core.Default(24)
+			base.Horizon = h
+			base.PopSize = 60
+			base.Generations = 4000
+			base.Seed = 42
+			base.EMax = frac * span
+			res, err := core.MultiRun(core.MultiRunConfig{
+				Base: base, CoverageTarget: 0.98, MaxExecutions: 4,
+			}, train)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pred, mask := res.RuleSet.PredictDataset(val)
+			rmse, cov, err := metrics.MaskedRMSE(pred, val.Targets, mask)
+			if err != nil {
+				rmse, cov = -1, 0
+			}
+			fmt.Printf("h=%-3d frac=%.2f emax=%5.1f  cov=%5.1f%%  rmse=%6.2f  rules=%d\n",
+				h, frac, base.EMax, 100*cov, rmse, res.RuleSet.Len())
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package metrics
+
+// Masked metrics score only the points a predictor actually covered.
+// The rule system abstains when no rule matches a pattern; the paper
+// reports errors over covered points together with the coverage
+// percentage, so both pieces live here.
+
+// Coverage returns the fraction of true entries in mask, in [0,1].
+// An empty mask has coverage 0.
+func Coverage(mask []bool) float64 {
+	if len(mask) == 0 {
+		return 0
+	}
+	n := 0
+	for _, m := range mask {
+		if m {
+			n++
+		}
+	}
+	return float64(n) / float64(len(mask))
+}
+
+// Compact returns the covered subsequences of pred and want. The
+// returned slices are freshly allocated and aligned with each other.
+func Compact(pred, want []float64, mask []bool) (p, w []float64, err error) {
+	if len(pred) != len(want) || len(pred) != len(mask) {
+		return nil, nil, ErrLength
+	}
+	for i, m := range mask {
+		if m {
+			p = append(p, pred[i])
+			w = append(w, want[i])
+		}
+	}
+	return p, w, nil
+}
+
+// MaskedRMSE returns the RMSE over covered points plus the coverage.
+func MaskedRMSE(pred, want []float64, mask []bool) (rmse, coverage float64, err error) {
+	p, w, err := Compact(pred, want, mask)
+	if err != nil {
+		return 0, 0, err
+	}
+	coverage = Coverage(mask)
+	rmse, err = RMSE(p, w)
+	return rmse, coverage, err
+}
+
+// MaskedNMSE returns the NMSE over covered points plus the coverage.
+// Per the paper, normalization uses the variance of the covered
+// targets (the predictor is only judged where it speaks).
+func MaskedNMSE(pred, want []float64, mask []bool) (nmse, coverage float64, err error) {
+	p, w, err := Compact(pred, want, mask)
+	if err != nil {
+		return 0, 0, err
+	}
+	coverage = Coverage(mask)
+	nmse, err = NMSE(p, w)
+	return nmse, coverage, err
+}
+
+// MaskedGalvan returns the Galván sunspot error over covered points
+// plus the coverage.
+func MaskedGalvan(pred, want []float64, mask []bool, horizon int) (e, coverage float64, err error) {
+	p, w, err := Compact(pred, want, mask)
+	if err != nil {
+		return 0, 0, err
+	}
+	coverage = Coverage(mask)
+	e, err = GalvanError(p, w, horizon)
+	return e, coverage, err
+}

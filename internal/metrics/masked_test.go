@@ -1,0 +1,121 @@
+package metrics
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCoverage(t *testing.T) {
+	if got := Coverage([]bool{true, false, true, true}); got != 0.75 {
+		t.Fatalf("Coverage = %v", got)
+	}
+	if got := Coverage(nil); got != 0 {
+		t.Fatalf("Coverage(nil) = %v", got)
+	}
+}
+
+func TestCompact(t *testing.T) {
+	p, w, err := Compact([]float64{1, 2, 3}, []float64{4, 5, 6}, []bool{true, false, true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p) != 2 || p[0] != 1 || p[1] != 3 || w[0] != 4 || w[1] != 6 {
+		t.Fatalf("Compact = %v %v", p, w)
+	}
+	if _, _, err := Compact([]float64{1}, []float64{1, 2}, []bool{true}); !errors.Is(err, ErrLength) {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestMaskedRMSE(t *testing.T) {
+	pred := []float64{1, 99, 3}
+	want := []float64{1, 0, 3}
+	rmse, cov, err := MaskedRMSE(pred, want, []bool{true, false, true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rmse != 0 {
+		t.Fatalf("masked RMSE = %v (should ignore uncovered outlier)", rmse)
+	}
+	if math.Abs(cov-2.0/3.0) > 1e-12 {
+		t.Fatalf("coverage = %v", cov)
+	}
+}
+
+func TestMaskedRMSEAllAbstain(t *testing.T) {
+	_, _, err := MaskedRMSE([]float64{1}, []float64{1}, []bool{false})
+	if !errors.Is(err, ErrEmpty) {
+		t.Fatalf("expected ErrEmpty, got %v", err)
+	}
+}
+
+func TestMaskedNMSE(t *testing.T) {
+	pred := []float64{5, 0, 0, 5}
+	want := []float64{1, 2, 3, 4}
+	nmse, cov, err := MaskedNMSE(pred, want, []bool{true, true, true, true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, _ := NMSE(pred, want)
+	if nmse != full {
+		t.Fatalf("full-mask NMSE %v != plain NMSE %v", nmse, full)
+	}
+	if cov != 1 {
+		t.Fatalf("coverage = %v", cov)
+	}
+}
+
+func TestMaskedGalvan(t *testing.T) {
+	pred := []float64{1, 2, 3, 4}
+	want := []float64{1, 2, 3, 0}
+	e, cov, err := MaskedGalvan(pred, want, []bool{true, true, true, false}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e != 0 {
+		t.Fatalf("masked Galvan = %v", e)
+	}
+	if cov != 0.75 {
+		t.Fatalf("coverage = %v", cov)
+	}
+}
+
+// Property: masked metric over an all-true mask equals the plain
+// metric.
+func TestPropertyFullMaskEqualsPlain(t *testing.T) {
+	f := func(a, b []float64) bool {
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		var p, w []float64
+		for i := 0; i < n; i++ {
+			if math.IsNaN(a[i]) || math.IsInf(a[i], 0) || math.IsNaN(b[i]) || math.IsInf(b[i], 0) {
+				continue
+			}
+			if math.Abs(a[i]) > 1e100 || math.Abs(b[i]) > 1e100 {
+				continue
+			}
+			p = append(p, a[i])
+			w = append(w, b[i])
+		}
+		if len(p) == 0 {
+			return true
+		}
+		mask := make([]bool, len(p))
+		for i := range mask {
+			mask[i] = true
+		}
+		m1, cov, err1 := MaskedRMSE(p, w, mask)
+		m2, err2 := RMSE(p, w)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return m1 == m2 && cov == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

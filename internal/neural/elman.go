@@ -1,0 +1,201 @@
+package neural
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+	"repro/internal/series"
+)
+
+// ElmanConfig parameterizes the recurrent baseline of Table 3
+// (Galván & Isasi's multi-step recurrent models). The network
+// consumes the D-wide input window one value at a time, carrying a
+// hidden context, and emits the forecast after the last step.
+type ElmanConfig struct {
+	Hidden       int // context/hidden units
+	LearningRate float64
+	Momentum     float64
+	Epochs       int
+	Seed         int64
+}
+
+// DefaultElman returns a small recurrent net comparable to DefaultMLP.
+func DefaultElman() ElmanConfig {
+	return ElmanConfig{Hidden: 12, LearningRate: 0.005, Momentum: 0.8, Epochs: 60, Seed: 1}
+}
+
+// Validate rejects inconsistent settings.
+func (c *ElmanConfig) Validate() error {
+	if c.Hidden < 1 {
+		return fmt.Errorf("neural: Elman hidden %d must be positive", c.Hidden)
+	}
+	if c.LearningRate <= 0 {
+		return fmt.Errorf("neural: learning rate %v must be positive", c.LearningRate)
+	}
+	if c.Momentum < 0 || c.Momentum >= 1 {
+		return fmt.Errorf("neural: momentum %v outside [0,1)", c.Momentum)
+	}
+	if c.Epochs < 1 {
+		return fmt.Errorf("neural: epochs %d must be positive", c.Epochs)
+	}
+	return nil
+}
+
+// Elman is a simple recurrent network: h_t = tanh(wx·x_t + Wh·h_{t-1} + bh),
+// output = wo·h_D + bo. Training uses the classic Elman scheme (the
+// context is treated as input — gradients do not flow through time),
+// which is exactly the era-appropriate baseline.
+type Elman struct {
+	cfg ElmanConfig
+
+	wx []float64   // [hidden] input weight (scalar input per step)
+	wh [][]float64 // [hidden][hidden] recurrent weights
+	bh []float64
+	wo []float64 // [hidden] output weights
+	bo float64
+
+	dwx []float64
+	dwh [][]float64
+	dbh []float64
+	dwo []float64
+	dbo float64
+
+	trained bool
+}
+
+// NewElman builds an untrained recurrent network.
+func NewElman(cfg ElmanConfig) (*Elman, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	src := rng.New(cfg.Seed)
+	h := cfg.Hidden
+	e := &Elman{
+		cfg: cfg,
+		wx:  make([]float64, h),
+		wh:  make([][]float64, h),
+		bh:  make([]float64, h),
+		wo:  make([]float64, h),
+		dwx: make([]float64, h),
+		dwh: make([][]float64, h),
+		dbh: make([]float64, h),
+		dwo: make([]float64, h),
+	}
+	scale := math.Sqrt(1.0 / float64(h))
+	for i := 0; i < h; i++ {
+		e.wx[i] = src.Norm(0, 0.5)
+		e.wo[i] = src.Norm(0, scale)
+		e.wh[i] = make([]float64, h)
+		e.dwh[i] = make([]float64, h)
+		for j := 0; j < h; j++ {
+			e.wh[i][j] = src.Norm(0, scale*0.5)
+		}
+	}
+	return e, nil
+}
+
+// run feeds the window through the recurrence and returns the hidden
+// trajectory (states[t] is h after consuming in[t]; states has
+// len(in) entries) plus the final output.
+func (e *Elman) run(in []float64) (states [][]float64, out float64) {
+	h := e.cfg.Hidden
+	prev := make([]float64, h)
+	for _, x := range in {
+		cur := make([]float64, h)
+		for i := 0; i < h; i++ {
+			s := e.bh[i] + e.wx[i]*x
+			for j := 0; j < h; j++ {
+				s += e.wh[i][j] * prev[j]
+			}
+			cur[i] = math.Tanh(s)
+		}
+		states = append(states, cur)
+		prev = cur
+	}
+	out = e.bo
+	for i := 0; i < h; i++ {
+		out += e.wo[i] * prev[i]
+	}
+	return states, out
+}
+
+// Train fits the network; returns the final epoch MSE.
+func (e *Elman) Train(ds *series.Dataset) (float64, error) {
+	if ds.Len() == 0 {
+		return 0, errors.New("neural: empty training set")
+	}
+	src := rng.New(e.cfg.Seed + 104729)
+	lr, mom := e.cfg.LearningRate, e.cfg.Momentum
+	h := e.cfg.Hidden
+	var lastMSE float64
+	for epoch := 0; epoch < e.cfg.Epochs; epoch++ {
+		perm := src.Perm(ds.Len())
+		sqErr := 0.0
+		for _, idx := range perm {
+			in := ds.Inputs[idx]
+			states, out := e.run(in)
+			err := ds.Targets[idx] - out
+			sqErr += err * err
+
+			last := states[len(states)-1]
+			var prevState []float64
+			if len(states) >= 2 {
+				prevState = states[len(states)-2]
+			} else {
+				prevState = make([]float64, h)
+			}
+			xLast := in[len(in)-1]
+
+			// Output layer.
+			for i := 0; i < h; i++ {
+				e.dwo[i] = mom*e.dwo[i] + lr*err*last[i]
+				e.wo[i] += e.dwo[i]
+			}
+			e.dbo = mom*e.dbo + lr*err
+			e.bo += e.dbo
+
+			// Hidden layer (one step back, Elman-style).
+			for i := 0; i < h; i++ {
+				delta := err * e.wo[i] * (1 - last[i]*last[i])
+				e.dwx[i] = mom*e.dwx[i] + lr*delta*xLast
+				e.wx[i] += e.dwx[i]
+				e.dbh[i] = mom*e.dbh[i] + lr*delta
+				e.bh[i] += e.dbh[i]
+				for j := 0; j < h; j++ {
+					e.dwh[i][j] = mom*e.dwh[i][j] + lr*delta*prevState[j]
+					e.wh[i][j] += e.dwh[i][j]
+				}
+			}
+		}
+		lastMSE = sqErr / float64(ds.Len())
+	}
+	e.trained = true
+	return lastMSE, nil
+}
+
+// Predict returns the forecast for one window.
+func (e *Elman) Predict(in []float64) (float64, error) {
+	if !e.trained {
+		return 0, ErrUntrained
+	}
+	if len(in) == 0 {
+		return 0, errors.New("neural: empty pattern")
+	}
+	_, out := e.run(in)
+	return out, nil
+}
+
+// PredictDataset returns predictions for every pattern.
+func (e *Elman) PredictDataset(ds *series.Dataset) ([]float64, error) {
+	out := make([]float64, ds.Len())
+	for i, in := range ds.Inputs {
+		v, err := e.Predict(in)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}

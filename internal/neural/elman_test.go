@@ -1,0 +1,137 @@
+package neural
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/series"
+)
+
+func TestElmanConfigValidate(t *testing.T) {
+	bad := []ElmanConfig{
+		{Hidden: 0, LearningRate: 0.1, Epochs: 1},
+		{Hidden: 4, LearningRate: 0, Epochs: 1},
+		{Hidden: 4, LearningRate: 0.1, Momentum: 1, Epochs: 1},
+		{Hidden: 4, LearningRate: 0.1, Epochs: 0},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Fatalf("bad config %d accepted", i)
+		}
+	}
+	good := DefaultElman()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default rejected: %v", err)
+	}
+}
+
+func TestElmanLearnsSine(t *testing.T) {
+	ds := sineDS(t, 500, 8)
+	train, test := ds.Split(400)
+	cfg := DefaultElman()
+	cfg.Epochs = 60
+	e, err := NewElman(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Train(train); err != nil {
+		t.Fatal(err)
+	}
+	pred, err := e.PredictDataset(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sq, sqMean := 0.0, 0.0
+	for i := range pred {
+		d := pred[i] - test.Targets[i]
+		sq += d * d
+		sqMean += test.Targets[i] * test.Targets[i] // mean of sine ≈ 0
+	}
+	if sq >= sqMean {
+		t.Fatalf("Elman (SSE %v) no better than zero predictor (SSE %v)", sq, sqMean)
+	}
+}
+
+func TestElmanUntrained(t *testing.T) {
+	e, err := NewElman(DefaultElman())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Predict([]float64{1, 2}); !errors.Is(err, ErrUntrained) {
+		t.Fatal("untrained Predict accepted")
+	}
+}
+
+func TestElmanEmptyInputs(t *testing.T) {
+	ds := sineDS(t, 100, 4)
+	e, err := NewElman(ElmanConfig{Hidden: 4, LearningRate: 0.01, Epochs: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Train(ds); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Predict(nil); err == nil {
+		t.Fatal("empty pattern accepted")
+	}
+	empty := &series.Dataset{D: 4, Horizon: 1}
+	e2, _ := NewElman(DefaultElman())
+	if _, err := e2.Train(empty); err == nil {
+		t.Fatal("empty training set accepted")
+	}
+}
+
+func TestElmanDeterministic(t *testing.T) {
+	ds := sineDS(t, 200, 6)
+	run := func(seed int64) []float64 {
+		cfg := DefaultElman()
+		cfg.Epochs = 4
+		cfg.Seed = seed
+		e, err := NewElman(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.Train(ds); err != nil {
+			t.Fatal(err)
+		}
+		out, err := e.PredictDataset(ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := run(5), run(5)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestElmanStateMatters(t *testing.T) {
+	// A recurrent net must produce different outputs for reversed
+	// windows (order sensitivity) once trained.
+	ds := sineDS(t, 300, 6)
+	cfg := DefaultElman()
+	cfg.Epochs = 20
+	e, err := NewElman(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Train(ds); err != nil {
+		t.Fatal(err)
+	}
+	in := []float64{0.9, 0.5, 0.1, -0.3, -0.7, -0.9}
+	rev := []float64{-0.9, -0.7, -0.3, 0.1, 0.5, 0.9}
+	a, err := e.Predict(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.Predict(rev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Fatal("order-insensitive recurrent network")
+	}
+}

@@ -1,0 +1,13 @@
+package neural
+
+import "repro/internal/series"
+
+// singlePatternDataset wraps one (input, target) pair as a Dataset.
+func singlePatternDataset(in []float64, target float64) *series.Dataset {
+	return &series.Dataset{
+		Inputs:  [][]float64{in},
+		Targets: []float64{target},
+		D:       len(in),
+		Horizon: 1,
+	}
+}

@@ -1,0 +1,244 @@
+// Package neural implements the neural-network baselines the paper
+// compares against:
+//
+//   - MLP — multilayer feed-forward perceptron trained with
+//     backpropagation + momentum ("Error NN" in Table 1, "Feedfw NN"
+//     in Table 3, after Zaldívar et al. and Galván & Isasi).
+//   - Elman — simple recurrent network ("Recurr. NN" in Table 3).
+//   - RAN — Platt's resource-allocating RBF network (Table 2).
+//   - MRAN — minimal RAN with pruning, Yingwei et al. (Table 2).
+//
+// All learners are deterministic given a seed and train on the same
+// windowed Dataset as the rule system, so comparisons are apples to
+// apples.
+package neural
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+	"repro/internal/series"
+)
+
+// ErrUntrained is returned when predicting with an untrained model.
+var ErrUntrained = errors.New("neural: model not trained")
+
+// MLPConfig parameterizes the feed-forward baseline.
+type MLPConfig struct {
+	Hidden       []int   // hidden layer widths (e.g. {16} or {32,16})
+	LearningRate float64 // SGD step size
+	Momentum     float64 // classical momentum coefficient
+	Epochs       int     // full passes over the training set
+	Seed         int64
+}
+
+// DefaultMLP mirrors the modest fully-connected nets of the
+// comparison papers: one hidden layer, sigmoid-free tanh units.
+func DefaultMLP() MLPConfig {
+	return MLPConfig{Hidden: []int{16}, LearningRate: 0.01, Momentum: 0.9, Epochs: 60, Seed: 1}
+}
+
+// Validate rejects inconsistent settings.
+func (c *MLPConfig) Validate() error {
+	if len(c.Hidden) == 0 {
+		return errors.New("neural: MLP needs at least one hidden layer")
+	}
+	for i, h := range c.Hidden {
+		if h < 1 {
+			return fmt.Errorf("neural: hidden layer %d has width %d", i, h)
+		}
+	}
+	if c.LearningRate <= 0 {
+		return fmt.Errorf("neural: learning rate %v must be positive", c.LearningRate)
+	}
+	if c.Momentum < 0 || c.Momentum >= 1 {
+		return fmt.Errorf("neural: momentum %v outside [0,1)", c.Momentum)
+	}
+	if c.Epochs < 1 {
+		return fmt.Errorf("neural: epochs %d must be positive", c.Epochs)
+	}
+	return nil
+}
+
+// layer is one dense layer: Out = act(W·In + B).
+type layer struct {
+	w      [][]float64 // [out][in]
+	b      []float64
+	dw     [][]float64 // momentum buffers
+	db     []float64
+	linear bool // output layer is linear; hidden layers tanh
+}
+
+func newLayer(in, out int, linear bool, src *rng.Source) *layer {
+	l := &layer{
+		w:      make([][]float64, out),
+		b:      make([]float64, out),
+		dw:     make([][]float64, out),
+		db:     make([]float64, out),
+		linear: linear,
+	}
+	// Xavier-style scaling keeps tanh units out of saturation.
+	scale := math.Sqrt(1.0 / float64(in))
+	for o := range l.w {
+		l.w[o] = make([]float64, in)
+		l.dw[o] = make([]float64, in)
+		for i := range l.w[o] {
+			l.w[o][i] = src.Norm(0, scale)
+		}
+	}
+	return l
+}
+
+func (l *layer) forward(in []float64) (pre, out []float64) {
+	pre = make([]float64, len(l.w))
+	out = make([]float64, len(l.w))
+	for o, row := range l.w {
+		s := l.b[o]
+		for i, w := range row {
+			s += w * in[i]
+		}
+		pre[o] = s
+		if l.linear {
+			out[o] = s
+		} else {
+			out[o] = math.Tanh(s)
+		}
+	}
+	return pre, out
+}
+
+// MLP is the feed-forward baseline network (single scalar output).
+type MLP struct {
+	cfg     MLPConfig
+	layers  []*layer
+	inDim   int
+	trained bool
+}
+
+// NewMLP builds an untrained network for inDim inputs.
+func NewMLP(inDim int, cfg MLPConfig) (*MLP, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if inDim < 1 {
+		return nil, fmt.Errorf("neural: input dimension %d", inDim)
+	}
+	src := rng.New(cfg.Seed)
+	m := &MLP{cfg: cfg, inDim: inDim}
+	prev := inDim
+	for _, h := range cfg.Hidden {
+		m.layers = append(m.layers, newLayer(prev, h, false, src))
+		prev = h
+	}
+	m.layers = append(m.layers, newLayer(prev, 1, true, src))
+	return m, nil
+}
+
+// Train fits the network on the dataset with plain stochastic
+// backpropagation + momentum, visiting patterns in a seeded random
+// order each epoch. Returns the final epoch's mean squared error.
+func (m *MLP) Train(ds *series.Dataset) (float64, error) {
+	if ds.D != m.inDim {
+		return 0, fmt.Errorf("neural: dataset D=%d but network expects %d", ds.D, m.inDim)
+	}
+	if ds.Len() == 0 {
+		return 0, errors.New("neural: empty training set")
+	}
+	src := rng.New(m.cfg.Seed + 7919) // independent shuffle stream
+	var lastMSE float64
+	for epoch := 0; epoch < m.cfg.Epochs; epoch++ {
+		perm := src.Perm(ds.Len())
+		sqErr := 0.0
+		for _, idx := range perm {
+			e := m.step(ds.Inputs[idx], ds.Targets[idx])
+			sqErr += e * e
+		}
+		lastMSE = sqErr / float64(ds.Len())
+	}
+	m.trained = true
+	return lastMSE, nil
+}
+
+// step runs one forward/backward pass and returns the signed output
+// error (target - output).
+func (m *MLP) step(in []float64, target float64) float64 {
+	// Forward, caching activations.
+	acts := [][]float64{in}
+	pres := make([][]float64, len(m.layers))
+	cur := in
+	for li, l := range m.layers {
+		pre, out := l.forward(cur)
+		pres[li] = pre
+		acts = append(acts, out)
+		cur = out
+	}
+	out := cur[0]
+	err := target - out
+
+	// Backward: delta for the linear output unit is just -err
+	// (d/dout of ½(t-o)²); we keep sign so weights move toward target.
+	deltas := make([][]float64, len(m.layers))
+	last := len(m.layers) - 1
+	deltas[last] = []float64{err}
+	for li := last - 1; li >= 0; li-- {
+		l := m.layers[li]
+		next := m.layers[li+1]
+		d := make([]float64, len(l.w))
+		for o := range d {
+			s := 0.0
+			for n := range next.w {
+				s += next.w[n][o] * deltas[li+1][n]
+			}
+			// tanh' = 1 - tanh².
+			t := math.Tanh(pres[li][o])
+			d[o] = s * (1 - t*t)
+		}
+		deltas[li] = d
+	}
+
+	// Update with momentum.
+	lr, mom := m.cfg.LearningRate, m.cfg.Momentum
+	for li, l := range m.layers {
+		in := acts[li]
+		for o := range l.w {
+			g := deltas[li][o]
+			for i := range l.w[o] {
+				l.dw[o][i] = mom*l.dw[o][i] + lr*g*in[i]
+				l.w[o][i] += l.dw[o][i]
+			}
+			l.db[o] = mom*l.db[o] + lr*g
+			l.b[o] += l.db[o]
+		}
+	}
+	return err
+}
+
+// Predict returns the network output for one pattern.
+func (m *MLP) Predict(in []float64) (float64, error) {
+	if !m.trained {
+		return 0, ErrUntrained
+	}
+	if len(in) != m.inDim {
+		return 0, fmt.Errorf("neural: pattern width %d, want %d", len(in), m.inDim)
+	}
+	cur := in
+	for _, l := range m.layers {
+		_, cur = l.forward(cur)
+	}
+	return cur[0], nil
+}
+
+// PredictDataset returns predictions for every pattern.
+func (m *MLP) PredictDataset(ds *series.Dataset) ([]float64, error) {
+	out := make([]float64, ds.Len())
+	for i, in := range ds.Inputs {
+		v, err := m.Predict(in)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}

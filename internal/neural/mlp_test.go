@@ -1,0 +1,181 @@
+package neural
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/series"
+)
+
+// sineDS builds a smooth learnable dataset in roughly [-1,1].
+func sineDS(t *testing.T, n, d int) *series.Dataset {
+	t.Helper()
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = math.Sin(2 * math.Pi * float64(i) / 25)
+	}
+	ds, err := series.Window(series.New("sine", v), d, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestMLPConfigValidate(t *testing.T) {
+	bad := []MLPConfig{
+		{Hidden: nil, LearningRate: 0.1, Epochs: 1},
+		{Hidden: []int{0}, LearningRate: 0.1, Epochs: 1},
+		{Hidden: []int{4}, LearningRate: 0, Epochs: 1},
+		{Hidden: []int{4}, LearningRate: 0.1, Momentum: 1.0, Epochs: 1},
+		{Hidden: []int{4}, LearningRate: 0.1, Epochs: 0},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Fatalf("bad config %d accepted", i)
+		}
+	}
+	good := DefaultMLP()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default config rejected: %v", err)
+	}
+}
+
+func TestNewMLPErrors(t *testing.T) {
+	if _, err := NewMLP(0, DefaultMLP()); err == nil {
+		t.Fatal("inDim=0 accepted")
+	}
+	if _, err := NewMLP(4, MLPConfig{}); err == nil {
+		t.Fatal("zero config accepted")
+	}
+}
+
+func TestMLPLearnsSine(t *testing.T) {
+	ds := sineDS(t, 600, 6)
+	train, test := ds.Split(450)
+	cfg := DefaultMLP()
+	cfg.Epochs = 80
+	m, err := NewMLP(6, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mse, err := m.Train(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mse > 0.05 {
+		t.Fatalf("training MSE %v too high for a clean sine", mse)
+	}
+	pred, err := m.PredictDataset(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sq := 0.0
+	for i := range pred {
+		d := pred[i] - test.Targets[i]
+		sq += d * d
+	}
+	if got := sq / float64(len(pred)); got > 0.05 {
+		t.Fatalf("test MSE %v too high", got)
+	}
+}
+
+func TestMLPUntrainedPredictFails(t *testing.T) {
+	m, err := NewMLP(3, DefaultMLP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Predict([]float64{1, 2, 3}); !errors.Is(err, ErrUntrained) {
+		t.Fatal("untrained Predict accepted")
+	}
+}
+
+func TestMLPPredictWidthCheck(t *testing.T) {
+	ds := sineDS(t, 100, 3)
+	m, err := NewMLP(3, MLPConfig{Hidden: []int{4}, LearningRate: 0.01, Epochs: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Train(ds); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Predict([]float64{1}); err == nil {
+		t.Fatal("wrong-width pattern accepted")
+	}
+}
+
+func TestMLPTrainShapeMismatch(t *testing.T) {
+	ds := sineDS(t, 100, 3)
+	m, err := NewMLP(4, DefaultMLP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Train(ds); err == nil {
+		t.Fatal("D mismatch accepted")
+	}
+}
+
+func TestMLPTrainEmpty(t *testing.T) {
+	m, err := NewMLP(2, DefaultMLP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty := &series.Dataset{D: 2, Horizon: 1}
+	if _, err := m.Train(empty); err == nil {
+		t.Fatal("empty training set accepted")
+	}
+}
+
+func TestMLPDeterministicPerSeed(t *testing.T) {
+	ds := sineDS(t, 200, 4)
+	run := func(seed int64) []float64 {
+		cfg := DefaultMLP()
+		cfg.Epochs = 5
+		cfg.Seed = seed
+		m, err := NewMLP(4, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Train(ds); err != nil {
+			t.Fatal(err)
+		}
+		out, err := m.PredictDataset(ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := run(3), run(3)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := run(4)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds identical")
+	}
+}
+
+func TestMLPDeepStack(t *testing.T) {
+	ds := sineDS(t, 300, 4)
+	cfg := MLPConfig{Hidden: []int{12, 8}, LearningRate: 0.01, Momentum: 0.9, Epochs: 40, Seed: 2}
+	m, err := NewMLP(4, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mse, err := m.Train(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mse > 0.1 {
+		t.Fatalf("two-hidden-layer MSE %v", mse)
+	}
+}

@@ -1,0 +1,301 @@
+package neural
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/series"
+)
+
+// RANConfig parameterizes Platt's resource-allocating network
+// (Neural Computation 3, 1991), the "Error RAN" baseline of Table 2.
+// RAN is a sequential learner: it sees each (pattern, target) pair
+// once per pass, growing a Gaussian unit when the novelty conditions
+// hold (large error AND far from every existing center) and otherwise
+// adapting the existing units by LMS.
+type RANConfig struct {
+	ErrTol    float64 // ε: grow when |error| > ε
+	DeltaMax  float64 // initial distance threshold δ(0)
+	DeltaMin  float64 // floor for the distance threshold
+	Tau       float64 // decay constant: δ(t) = max(DeltaMax·exp(-t/τ), DeltaMin)
+	Overlap   float64 // κ: new unit width = κ · distance-to-nearest
+	LearnRate float64 // LMS step for weights and centers
+	MaxUnits  int     // hard cap on hidden units
+	Passes    int     // sequential passes over the training set
+}
+
+// DefaultRAN follows Platt's reported constants adapted to [0,1]
+// series.
+func DefaultRAN() RANConfig {
+	return RANConfig{
+		ErrTol:    0.02,
+		DeltaMax:  0.7,
+		DeltaMin:  0.07,
+		Tau:       60,
+		Overlap:   0.87,
+		LearnRate: 0.02,
+		MaxUnits:  120,
+		Passes:    2,
+	}
+}
+
+// Validate rejects inconsistent settings.
+func (c *RANConfig) Validate() error {
+	switch {
+	case c.ErrTol <= 0:
+		return fmt.Errorf("neural: RAN ErrTol %v must be positive", c.ErrTol)
+	case c.DeltaMin <= 0 || c.DeltaMax < c.DeltaMin:
+		return fmt.Errorf("neural: RAN delta range [%v,%v] invalid", c.DeltaMin, c.DeltaMax)
+	case c.Tau <= 0:
+		return fmt.Errorf("neural: RAN Tau %v must be positive", c.Tau)
+	case c.Overlap <= 0:
+		return fmt.Errorf("neural: RAN Overlap %v must be positive", c.Overlap)
+	case c.LearnRate <= 0:
+		return fmt.Errorf("neural: RAN LearnRate %v must be positive", c.LearnRate)
+	case c.MaxUnits < 1:
+		return fmt.Errorf("neural: RAN MaxUnits %d must be positive", c.MaxUnits)
+	case c.Passes < 1:
+		return fmt.Errorf("neural: RAN Passes %d must be positive", c.Passes)
+	}
+	return nil
+}
+
+// rbfUnit is one Gaussian hidden unit.
+type rbfUnit struct {
+	center []float64
+	width  float64 // Gaussian σ
+	weight float64 // output weight α
+	// MRAN bookkeeping: consecutive observations with negligible
+	// normalized contribution.
+	lowCount int
+}
+
+func (u *rbfUnit) activation(x []float64) float64 {
+	d2 := 0.0
+	for i, c := range u.center {
+		diff := x[i] - c
+		d2 += diff * diff
+	}
+	return math.Exp(-d2 / (2 * u.width * u.width))
+}
+
+// RAN is the resource-allocating network.
+type RAN struct {
+	cfg     RANConfig
+	units   []*rbfUnit
+	bias    float64
+	inDim   int
+	seen    int // observations consumed (drives δ decay)
+	trained bool
+
+	// prune hook used by MRAN; nil for plain RAN.
+	prune func(r *RAN, acts []float64, out float64)
+}
+
+// NewRAN returns an untrained RAN for inDim inputs.
+func NewRAN(inDim int, cfg RANConfig) (*RAN, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if inDim < 1 {
+		return nil, fmt.Errorf("neural: input dimension %d", inDim)
+	}
+	return &RAN{cfg: cfg, inDim: inDim}, nil
+}
+
+// Units returns the current hidden-unit count.
+func (r *RAN) Units() int { return len(r.units) }
+
+// output computes the network output and per-unit activations.
+func (r *RAN) output(x []float64) (float64, []float64) {
+	acts := make([]float64, len(r.units))
+	out := r.bias
+	for i, u := range r.units {
+		a := u.activation(x)
+		acts[i] = a
+		out += u.weight * a
+	}
+	return out, acts
+}
+
+// delta returns the current distance threshold δ(t).
+func (r *RAN) delta() float64 {
+	d := r.cfg.DeltaMax * math.Exp(-float64(r.seen)/r.cfg.Tau)
+	if d < r.cfg.DeltaMin {
+		d = r.cfg.DeltaMin
+	}
+	return d
+}
+
+// observe processes one sample sequentially (grow or adapt).
+func (r *RAN) observe(x []float64, target float64) {
+	out, acts := r.output(x)
+	err := target - out
+	r.seen++
+
+	// Distance to the nearest center.
+	nearest := math.Inf(1)
+	for _, u := range r.units {
+		d2 := 0.0
+		for i, c := range u.center {
+			diff := x[i] - c
+			d2 += diff * diff
+		}
+		if d := math.Sqrt(d2); d < nearest {
+			nearest = d
+		}
+	}
+
+	if math.Abs(err) > r.cfg.ErrTol && nearest > r.delta() && len(r.units) < r.cfg.MaxUnits {
+		// Novelty: allocate a unit centered at x that cancels the error.
+		width := r.cfg.Overlap * nearest
+		if math.IsInf(width, 1) || width <= 0 {
+			width = r.cfg.DeltaMax // first unit
+		}
+		r.units = append(r.units, &rbfUnit{
+			center: append([]float64(nil), x...),
+			width:  width,
+			weight: err,
+		})
+		return
+	}
+
+	// Otherwise adapt: LMS on output weights + bias, and pull the
+	// centers of strongly-active units toward the sample.
+	lr := r.cfg.LearnRate
+	r.bias += lr * err
+	for i, u := range r.units {
+		a := acts[i]
+		u.weight += lr * err * a
+		if a > 1e-3 {
+			g := lr * err * u.weight * a / (u.width * u.width)
+			for j := range u.center {
+				u.center[j] += g * (x[j] - u.center[j])
+			}
+		}
+	}
+	if r.prune != nil {
+		r.prune(r, acts, out)
+	}
+}
+
+// Train performs the configured number of sequential passes and
+// returns the final-pass MSE.
+func (r *RAN) Train(ds *series.Dataset) (float64, error) {
+	if ds.D != r.inDim {
+		return 0, fmt.Errorf("neural: dataset D=%d but network expects %d", ds.D, r.inDim)
+	}
+	if ds.Len() == 0 {
+		return 0, errors.New("neural: empty training set")
+	}
+	var lastMSE float64
+	for pass := 0; pass < r.cfg.Passes; pass++ {
+		sqErr := 0.0
+		for i := range ds.Inputs {
+			out, _ := r.output(ds.Inputs[i])
+			d := ds.Targets[i] - out
+			sqErr += d * d
+			r.observe(ds.Inputs[i], ds.Targets[i])
+		}
+		lastMSE = sqErr / float64(ds.Len())
+	}
+	r.trained = true
+	return lastMSE, nil
+}
+
+// Predict returns the network output for one pattern.
+func (r *RAN) Predict(in []float64) (float64, error) {
+	if !r.trained {
+		return 0, ErrUntrained
+	}
+	if len(in) != r.inDim {
+		return 0, fmt.Errorf("neural: pattern width %d, want %d", len(in), r.inDim)
+	}
+	out, _ := r.output(in)
+	return out, nil
+}
+
+// PredictDataset returns predictions for every pattern.
+func (r *RAN) PredictDataset(ds *series.Dataset) ([]float64, error) {
+	out := make([]float64, ds.Len())
+	for i, in := range ds.Inputs {
+		v, err := r.Predict(in)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// MRANConfig extends RAN with the pruning rule of Yingwei, Sundararajan
+// & Saratchandran (Neural Computation 9, 1997): a unit whose
+// normalized output contribution stays below PruneTol for PruneWindow
+// consecutive observations is removed, yielding a minimal network.
+type MRANConfig struct {
+	RAN         RANConfig
+	PruneTol    float64 // normalized contribution threshold
+	PruneWindow int     // consecutive low-contribution observations before removal
+}
+
+// DefaultMRAN mirrors DefaultRAN plus standard pruning constants.
+func DefaultMRAN() MRANConfig {
+	return MRANConfig{RAN: DefaultRAN(), PruneTol: 0.01, PruneWindow: 40}
+}
+
+// Validate rejects inconsistent settings.
+func (c *MRANConfig) Validate() error {
+	if err := c.RAN.Validate(); err != nil {
+		return err
+	}
+	if c.PruneTol <= 0 || c.PruneTol >= 1 {
+		return fmt.Errorf("neural: MRAN PruneTol %v outside (0,1)", c.PruneTol)
+	}
+	if c.PruneWindow < 1 {
+		return fmt.Errorf("neural: MRAN PruneWindow %d must be positive", c.PruneWindow)
+	}
+	return nil
+}
+
+// NewMRAN returns an untrained MRAN: a RAN whose observe step prunes
+// persistently inactive units.
+func NewMRAN(inDim int, cfg MRANConfig) (*RAN, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	r, err := NewRAN(inDim, cfg.RAN)
+	if err != nil {
+		return nil, err
+	}
+	tol, window := cfg.PruneTol, cfg.PruneWindow
+	r.prune = func(r *RAN, acts []float64, out float64) {
+		// Normalized contribution of unit i: |w_i a_i| / max_j |w_j a_j|.
+		maxC := 0.0
+		contrib := make([]float64, len(r.units))
+		for i, u := range r.units {
+			c := math.Abs(u.weight * acts[i])
+			contrib[i] = c
+			if c > maxC {
+				maxC = c
+			}
+		}
+		if maxC == 0 {
+			return
+		}
+		kept := r.units[:0]
+		for i, u := range r.units {
+			if contrib[i]/maxC < tol {
+				u.lowCount++
+			} else {
+				u.lowCount = 0
+			}
+			if u.lowCount >= window {
+				continue // pruned
+			}
+			kept = append(kept, u)
+		}
+		r.units = kept
+	}
+	return r, nil
+}

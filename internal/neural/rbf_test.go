@@ -1,0 +1,220 @@
+package neural
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/series"
+)
+
+func TestRANConfigValidate(t *testing.T) {
+	mk := func(mut func(*RANConfig)) RANConfig {
+		c := DefaultRAN()
+		mut(&c)
+		return c
+	}
+	bad := []RANConfig{
+		mk(func(c *RANConfig) { c.ErrTol = 0 }),
+		mk(func(c *RANConfig) { c.DeltaMin = 0 }),
+		mk(func(c *RANConfig) { c.DeltaMax = c.DeltaMin / 2 }),
+		mk(func(c *RANConfig) { c.Tau = 0 }),
+		mk(func(c *RANConfig) { c.Overlap = 0 }),
+		mk(func(c *RANConfig) { c.LearnRate = 0 }),
+		mk(func(c *RANConfig) { c.MaxUnits = 0 }),
+		mk(func(c *RANConfig) { c.Passes = 0 }),
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Fatalf("bad config %d accepted", i)
+		}
+	}
+	good := DefaultRAN()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default rejected: %v", err)
+	}
+}
+
+func TestRANGrowsAndLearns(t *testing.T) {
+	ds := sineDS(t, 500, 4)
+	// Rescale sine from [-1,1] to [0,1] (RAN defaults assume unit range).
+	for i := range ds.Targets {
+		ds.Targets[i] = (ds.Targets[i] + 1) / 2
+	}
+	scaled := make([][]float64, len(ds.Inputs))
+	for i, row := range ds.Inputs {
+		r := make([]float64, len(row))
+		for j, v := range row {
+			r[j] = (v + 1) / 2
+		}
+		scaled[i] = r
+	}
+	ds.Inputs = scaled
+
+	train, test := ds.Split(400)
+	r, err := NewRAN(4, DefaultRAN())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Units() != 0 {
+		t.Fatal("fresh RAN has units")
+	}
+	mse, err := r.Train(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Units() == 0 {
+		t.Fatal("RAN allocated no units")
+	}
+	if r.Units() > DefaultRAN().MaxUnits {
+		t.Fatalf("unit cap violated: %d", r.Units())
+	}
+	if mse > 0.02 {
+		t.Fatalf("final-pass MSE %v too high", mse)
+	}
+	pred, err := r.PredictDataset(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sq := 0.0
+	for i := range pred {
+		d := pred[i] - test.Targets[i]
+		sq += d * d
+	}
+	if got := sq / float64(len(pred)); got > 0.02 {
+		t.Fatalf("test MSE %v", got)
+	}
+}
+
+func TestRANErrors(t *testing.T) {
+	if _, err := NewRAN(0, DefaultRAN()); err == nil {
+		t.Fatal("inDim=0 accepted")
+	}
+	r, err := NewRAN(3, DefaultRAN())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Predict([]float64{1, 2, 3}); !errors.Is(err, ErrUntrained) {
+		t.Fatal("untrained Predict accepted")
+	}
+	ds := sineDS(t, 100, 4)
+	if _, err := r.Train(ds); err == nil {
+		t.Fatal("D mismatch accepted")
+	}
+	empty := &series.Dataset{D: 3, Horizon: 1}
+	if _, err := r.Train(empty); err == nil {
+		t.Fatal("empty training accepted")
+	}
+}
+
+func TestRANPredictWidth(t *testing.T) {
+	ds := sineDS(t, 200, 3)
+	r, err := NewRAN(3, DefaultRAN())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Train(ds); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Predict([]float64{1}); err == nil {
+		t.Fatal("wrong width accepted")
+	}
+}
+
+func TestRANDeltaDecays(t *testing.T) {
+	r, err := NewRAN(2, DefaultRAN())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d0 := r.delta()
+	r.seen = 1000
+	d1 := r.delta()
+	if d1 >= d0 {
+		t.Fatalf("delta did not decay: %v -> %v", d0, d1)
+	}
+	if d1 < DefaultRAN().DeltaMin {
+		t.Fatalf("delta below floor: %v", d1)
+	}
+}
+
+func TestMRANConfigValidate(t *testing.T) {
+	c := DefaultMRAN()
+	if err := c.Validate(); err != nil {
+		t.Fatalf("default rejected: %v", err)
+	}
+	c.PruneTol = 0
+	if err := c.Validate(); err == nil {
+		t.Fatal("PruneTol=0 accepted")
+	}
+	c = DefaultMRAN()
+	c.PruneWindow = 0
+	if err := c.Validate(); err == nil {
+		t.Fatal("PruneWindow=0 accepted")
+	}
+	c = DefaultMRAN()
+	c.RAN.ErrTol = 0
+	if err := c.Validate(); err == nil {
+		t.Fatal("bad embedded RAN accepted")
+	}
+}
+
+func TestMRANPrunesToSmallerNetwork(t *testing.T) {
+	ds := sineDS(t, 600, 4)
+	for i := range ds.Targets {
+		ds.Targets[i] = (ds.Targets[i] + 1) / 2
+	}
+	scaled := make([][]float64, len(ds.Inputs))
+	for i, row := range ds.Inputs {
+		r := make([]float64, len(row))
+		for j, v := range row {
+			r[j] = (v + 1) / 2
+		}
+		scaled[i] = r
+	}
+	ds.Inputs = scaled
+
+	plain, err := NewRAN(4, DefaultRAN())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plain.Train(ds); err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultMRAN()
+	cfg.PruneTol = 0.05
+	cfg.PruneWindow = 25
+	minimal, err := NewMRAN(4, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mse, err := minimal.Train(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if minimal.Units() > plain.Units() {
+		t.Fatalf("MRAN (%d units) larger than RAN (%d units)", minimal.Units(), plain.Units())
+	}
+	if minimal.Units() == 0 {
+		t.Fatal("MRAN pruned everything")
+	}
+	if mse > 0.05 {
+		t.Fatalf("MRAN MSE %v after pruning", mse)
+	}
+}
+
+func TestRANFirstUnitWidthFinite(t *testing.T) {
+	r, err := NewRAN(1, DefaultRAN())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First observation with a large error must allocate a unit with a
+	// finite width even though the nearest-center distance is +Inf.
+	r.observe([]float64{0.5}, 10)
+	if r.Units() != 1 {
+		t.Fatalf("units = %d", r.Units())
+	}
+	u := r.units[0]
+	if math.IsInf(u.width, 0) || u.width <= 0 {
+		t.Fatalf("first unit width %v", u.width)
+	}
+}

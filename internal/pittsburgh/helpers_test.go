@@ -1,0 +1,21 @@
+package pittsburgh
+
+import (
+	"repro/internal/core"
+	"repro/internal/rng"
+)
+
+// sampleRule builds a marked rule whose Prediction identifies its
+// provenance in crossover tests.
+func sampleRule(d int, mark float64) *core.Rule {
+	cond := make([]core.Interval, d)
+	for j := range cond {
+		cond[j] = core.NewInterval(0, 1)
+	}
+	r := core.NewRule(cond)
+	r.Prediction = mark
+	return r
+}
+
+// newSrc wraps rng.New so the main test file reads naturally.
+func newSrc(seed int64) *rng.Source { return rng.New(seed) }

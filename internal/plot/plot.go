@@ -1,0 +1,220 @@
+// Package plot renders ASCII charts and rule diagrams so the paper's
+// figures can be regenerated in a terminal: Figure 1 (the graphical
+// representation of a rule as per-lag interval boxes) and Figure 2
+// (real vs predicted water level around an unusual tide).
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// Chart draws one or more aligned series as an ASCII line chart.
+type Chart struct {
+	Width, Height int
+	names         []string
+	data          [][]float64
+	markers       []byte
+}
+
+// NewChart returns a chart canvas. Width is the number of plotted
+// columns (series longer than Width are downsampled), Height the
+// number of text rows.
+func NewChart(width, height int) *Chart {
+	if width < 8 {
+		width = 8
+	}
+	if height < 4 {
+		height = 4
+	}
+	return &Chart{Width: width, Height: height}
+}
+
+// Add registers a named series with a marker character. Series are
+// aligned by index.
+func (c *Chart) Add(name string, values []float64, marker byte) {
+	c.names = append(c.names, name)
+	c.data = append(c.data, values)
+	c.markers = append(c.markers, marker)
+}
+
+// Render draws all registered series on a shared y-scale.
+func (c *Chart) Render() string {
+	if len(c.data) == 0 {
+		return "(empty chart)\n"
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	maxLen := 0
+	for _, vs := range c.data {
+		if len(vs) > maxLen {
+			maxLen = len(vs)
+		}
+		for _, v := range vs {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	if maxLen == 0 || math.IsInf(lo, 0) {
+		return "(no data)\n"
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+
+	grid := make([][]byte, c.Height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", c.Width))
+	}
+	for si, vs := range c.data {
+		for col := 0; col < c.Width; col++ {
+			// Downsample: pick the value whose index maps to this column.
+			idx := col * maxLen / c.Width
+			if idx >= len(vs) {
+				continue
+			}
+			v := vs[idx]
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			row := int((hi - v) / (hi - lo) * float64(c.Height-1))
+			if row < 0 {
+				row = 0
+			}
+			if row >= c.Height {
+				row = c.Height - 1
+			}
+			grid[row][col] = c.markers[si]
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%10.4g ┤", hi)
+	b.Write(grid[0])
+	b.WriteByte('\n')
+	for r := 1; r < c.Height-1; r++ {
+		b.WriteString("           │")
+		b.Write(grid[r])
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%10.4g ┤", lo)
+	b.Write(grid[c.Height-1])
+	b.WriteByte('\n')
+	b.WriteString("           └" + strings.Repeat("─", c.Width) + "\n")
+	for i, name := range c.names {
+		fmt.Fprintf(&b, "             %c %s\n", c.markers[i], name)
+	}
+	return b.String()
+}
+
+// RenderRule draws the paper's Figure 1: each input lag as a vertical
+// interval bar over the lag axis, with the prediction±error column at
+// the end. Wildcards render as full-height dashes.
+func RenderRule(r *core.Rule, height int) string {
+	if height < 5 {
+		height = 5
+	}
+	d := r.D()
+	if d == 0 {
+		return "(rule with no genes)\n"
+	}
+	// Global scale across bounded genes and the prediction.
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, iv := range r.Cond {
+		if iv.Wildcard {
+			continue
+		}
+		if iv.Lo < lo {
+			lo = iv.Lo
+		}
+		if iv.Hi > hi {
+			hi = iv.Hi
+		}
+	}
+	pLo, pHi := r.Prediction, r.Prediction
+	if !math.IsInf(r.Error, 0) {
+		pLo, pHi = r.Prediction-r.Error, r.Prediction+r.Error
+	}
+	if pLo < lo {
+		lo = pLo
+	}
+	if pHi > hi {
+		hi = pHi
+	}
+	if math.IsInf(lo, 0) { // all wildcards
+		lo, hi = 0, 1
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+
+	toRow := func(v float64) int {
+		row := int((hi - v) / (hi - lo) * float64(height-1))
+		if row < 0 {
+			row = 0
+		}
+		if row >= height {
+			row = height - 1
+		}
+		return row
+	}
+
+	colW := 4 // characters per lag column
+	width := d*colW + colW
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for j, iv := range r.Cond {
+		col := j*colW + 1
+		if iv.Wildcard {
+			for row := 0; row < height; row++ {
+				grid[row][col] = '.'
+			}
+			continue
+		}
+		top, bot := toRow(iv.Hi), toRow(iv.Lo)
+		for row := top; row <= bot; row++ {
+			grid[row][col] = '#'
+		}
+	}
+	// Prediction column.
+	pCol := d*colW + 1
+	pRow := toRow(r.Prediction)
+	if !math.IsInf(r.Error, 0) && r.Error > 0 {
+		for row := toRow(r.Prediction + r.Error); row <= toRow(r.Prediction-r.Error); row++ {
+			grid[row][pCol] = '|'
+		}
+	}
+	grid[pRow][pCol] = 'P'
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "rule: %s\n", r.String())
+	fmt.Fprintf(&b, "%8.3g ┤", hi)
+	b.Write(grid[0])
+	b.WriteByte('\n')
+	for row := 1; row < height-1; row++ {
+		b.WriteString("         │")
+		b.Write(grid[row])
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%8.3g ┤", lo)
+	b.Write(grid[height-1])
+	b.WriteByte('\n')
+	b.WriteString("         └" + strings.Repeat("─", width) + "\n")
+	b.WriteString("           ")
+	for j := 0; j < d; j++ {
+		fmt.Fprintf(&b, "y%-3d", j+1)
+	}
+	b.WriteString("pred\n")
+	return b.String()
+}

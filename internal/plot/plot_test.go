@@ -1,0 +1,113 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestChartRendersSeries(t *testing.T) {
+	c := NewChart(40, 10)
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = math.Sin(float64(i) / 5)
+	}
+	c.Add("sine", xs, '*')
+	out := c.Render()
+	if !strings.Contains(out, "*") {
+		t.Fatal("chart has no data points")
+	}
+	if !strings.Contains(out, "sine") {
+		t.Fatal("chart legend missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) < 10 {
+		t.Fatalf("chart too short: %d lines", len(lines))
+	}
+}
+
+func TestChartMultipleSeriesShareScale(t *testing.T) {
+	c := NewChart(30, 8)
+	c.Add("low", []float64{0, 0, 0}, 'o')
+	c.Add("high", []float64{10, 10, 10}, 'x')
+	out := c.Render()
+	if !strings.Contains(out, "o") || !strings.Contains(out, "x") {
+		t.Fatal("series markers missing")
+	}
+	if !strings.Contains(out, "10") {
+		t.Fatal("scale labels missing")
+	}
+}
+
+func TestChartEdgeCases(t *testing.T) {
+	if out := NewChart(20, 5).Render(); !strings.Contains(out, "empty") {
+		t.Fatalf("empty chart: %q", out)
+	}
+	c := NewChart(20, 5)
+	c.Add("nan", []float64{math.NaN(), math.Inf(1)}, '*')
+	if out := c.Render(); !strings.Contains(out, "no data") {
+		t.Fatalf("all-NaN chart: %q", out)
+	}
+	// Constant series must not divide by zero.
+	c2 := NewChart(20, 5)
+	c2.Add("const", []float64{5, 5, 5}, '*')
+	if out := c2.Render(); !strings.Contains(out, "*") {
+		t.Fatal("constant series lost")
+	}
+	// Tiny dimensions are clamped.
+	c3 := NewChart(1, 1)
+	c3.Add("x", []float64{1, 2}, '*')
+	if c3.Width < 8 || c3.Height < 4 {
+		t.Fatal("dimension clamp failed")
+	}
+	_ = c3.Render()
+}
+
+func TestRenderRuleShowsIntervalsAndWildcards(t *testing.T) {
+	r := core.NewRule([]core.Interval{
+		core.NewInterval(0, 10),
+		core.Wild(),
+		core.NewInterval(5, 8),
+	})
+	r.Prediction, r.Error = 6, 1
+	out := RenderRule(r, 12)
+	if !strings.Contains(out, "#") {
+		t.Fatal("no interval bars")
+	}
+	if !strings.Contains(out, ".") {
+		t.Fatal("no wildcard column")
+	}
+	if !strings.Contains(out, "P") {
+		t.Fatal("no prediction marker")
+	}
+	if !strings.Contains(out, "y1") || !strings.Contains(out, "pred") {
+		t.Fatal("axis labels missing")
+	}
+}
+
+func TestRenderRuleAllWildcards(t *testing.T) {
+	r := core.NewRule([]core.Interval{core.Wild(), core.Wild()})
+	r.Prediction = 0.5
+	out := RenderRule(r, 8)
+	if !strings.Contains(out, ".") {
+		t.Fatal("wildcards not rendered")
+	}
+}
+
+func TestRenderRuleEmpty(t *testing.T) {
+	out := RenderRule(core.NewRule(nil), 8)
+	if !strings.Contains(out, "no genes") {
+		t.Fatalf("empty rule: %q", out)
+	}
+}
+
+func TestRenderRuleInfErrorNoBar(t *testing.T) {
+	r := core.NewRule([]core.Interval{core.NewInterval(0, 1)})
+	r.Prediction = 0.5 // Error is +Inf by default
+	out := RenderRule(r, 8)
+	if !strings.Contains(out, "P") {
+		t.Fatal("prediction marker missing")
+	}
+}

@@ -1,0 +1,156 @@
+// Package rng provides seeded, splittable random number utilities used
+// throughout the evolutionary forecasting system.
+//
+// Reproducibility is a first-class requirement: every stochastic
+// component (series generators, population initialization, genetic
+// operators, parallel executions) draws from an *rng.Source created
+// from an explicit seed. Parallel work splits independent child
+// streams with Split, so results are identical regardless of the
+// number of goroutines used.
+package rng
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Source is a deterministic random source with convenience helpers for
+// the ranges and distributions the forecasting system needs. It wraps
+// math/rand.Rand and is NOT safe for concurrent use; use Split to give
+// each goroutine its own stream.
+type Source struct {
+	r    *rand.Rand
+	seed int64
+}
+
+// New returns a Source seeded with seed.
+func New(seed int64) *Source {
+	return &Source{r: rand.New(rand.NewSource(seed)), seed: seed}
+}
+
+// Seed returns the seed this source was created with.
+func (s *Source) Seed() int64 { return s.seed }
+
+// Split derives an independent child stream. The child's seed is a
+// mix of the parent seed and the parent's own stream, so successive
+// Split calls return distinct, reproducible streams.
+func (s *Source) Split() *Source {
+	// SplitMix64-style finalizer over a fresh draw keeps child streams
+	// well separated even for adjacent parent seeds.
+	z := uint64(s.r.Int63()) + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return New(int64(z))
+}
+
+// SplitN returns n independent child streams.
+func (s *Source) SplitN(n int) []*Source {
+	out := make([]*Source, n)
+	for i := range out {
+		out[i] = s.Split()
+	}
+	return out
+}
+
+// Float64 returns a uniform value in [0,1).
+func (s *Source) Float64() float64 { return s.r.Float64() }
+
+// Uniform returns a uniform value in [lo,hi).
+func (s *Source) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*s.r.Float64()
+}
+
+// Intn returns a uniform int in [0,n). It panics if n <= 0.
+func (s *Source) Intn(n int) int { return s.r.Intn(n) }
+
+// IntRange returns a uniform int in [lo,hi). It panics if hi <= lo.
+func (s *Source) IntRange(lo, hi int) int {
+	if hi <= lo {
+		panic("rng: IntRange requires hi > lo")
+	}
+	return lo + s.r.Intn(hi-lo)
+}
+
+// Bool returns true with probability p.
+func (s *Source) Bool(p float64) bool { return s.r.Float64() < p }
+
+// Norm returns a normally distributed value with the given mean and
+// standard deviation.
+func (s *Source) Norm(mean, std float64) float64 {
+	return mean + std*s.r.NormFloat64()
+}
+
+// Exp returns an exponentially distributed value with the given rate
+// (mean 1/rate).
+func (s *Source) Exp(rate float64) float64 {
+	if rate <= 0 {
+		panic("rng: Exp requires rate > 0")
+	}
+	return s.r.ExpFloat64() / rate
+}
+
+// Perm returns a random permutation of [0,n).
+func (s *Source) Perm(n int) []int { return s.r.Perm(n) }
+
+// Shuffle shuffles n elements using the provided swap function.
+func (s *Source) Shuffle(n int, swap func(i, j int)) { s.r.Shuffle(n, swap) }
+
+// Choice returns a uniform index into a slice of length n, useful for
+// picking parents or genes. It panics if n <= 0.
+func (s *Source) Choice(n int) int { return s.r.Intn(n) }
+
+// Roulette performs fitness-proportional (roulette-wheel) selection
+// over the given non-negative weights and returns the chosen index.
+// If all weights are zero (or the slice is empty) it falls back to a
+// uniform pick; negative weights are treated as zero.
+func (s *Source) Roulette(weights []float64) int {
+	if len(weights) == 0 {
+		panic("rng: Roulette over empty weights")
+	}
+	total := 0.0
+	for _, w := range weights {
+		if w > 0 && !math.IsInf(w, 1) && !math.IsNaN(w) {
+			total += w
+		}
+	}
+	if total <= 0 {
+		return s.r.Intn(len(weights))
+	}
+	target := s.r.Float64() * total
+	acc := 0.0
+	for i, w := range weights {
+		if w > 0 && !math.IsInf(w, 1) && !math.IsNaN(w) {
+			acc += w
+		}
+		if acc > target {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// SampleDistinct returns k distinct uniform indices from [0,n).
+// It panics if k > n or k < 0.
+func (s *Source) SampleDistinct(k, n int) []int {
+	if k < 0 || k > n {
+		panic("rng: SampleDistinct requires 0 <= k <= n")
+	}
+	if k*4 >= n {
+		// Dense case: partial Fisher-Yates.
+		perm := s.r.Perm(n)
+		return perm[:k]
+	}
+	// Sparse case: rejection sampling.
+	seen := make(map[int]struct{}, k)
+	out := make([]int, 0, k)
+	for len(out) < k {
+		v := s.r.Intn(n)
+		if _, dup := seen[v]; dup {
+			continue
+		}
+		seen[v] = struct{}{}
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,55 @@
+package series
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	s := New("level", []float64{1.5, -2, 3.25})
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "level" {
+		t.Fatalf("name = %q", got.Name)
+	}
+	if got.Len() != 3 || got.Values[0] != 1.5 || got.Values[1] != -2 || got.Values[2] != 3.25 {
+		t.Fatalf("values = %v", got.Values)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("header-only\n")); err == nil {
+		t.Fatal("header-only CSV accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader("t,v\n0,not-a-number\n")); err == nil {
+		t.Fatal("non-numeric CSV accepted")
+	}
+}
+
+func TestSaveLoadCSV(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "s.csv")
+	s := New("x", []float64{9, 8, 7})
+	if err := SaveCSV(path, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCSV(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 3 || got.Values[2] != 7 {
+		t.Fatalf("loaded = %v", got.Values)
+	}
+	if _, err := LoadCSV(filepath.Join(dir, "missing.csv")); !os.IsNotExist(err) {
+		t.Fatalf("expected not-exist error, got %v", err)
+	}
+}

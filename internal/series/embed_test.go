@@ -1,0 +1,97 @@
+package series
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestWindowEmbedSpacing(t *testing.T) {
+	ds, err := WindowEmbed(ramp(30), 4, 6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// reach = 3*6+2 = 20 → 10 patterns.
+	if ds.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", ds.Len())
+	}
+	// Pattern 0 = (x0, x6, x12, x18), target x20.
+	want := []float64{0, 6, 12, 18}
+	for j, v := range want {
+		if ds.Inputs[0][j] != v {
+			t.Fatalf("pattern 0 = %v, want %v", ds.Inputs[0], want)
+		}
+	}
+	if ds.Targets[0] != 20 {
+		t.Fatalf("target 0 = %v, want 20", ds.Targets[0])
+	}
+}
+
+func TestWindowEmbedSpacingOneEqualsWindow(t *testing.T) {
+	s := ramp(25)
+	a, err := Window(s, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := WindowEmbed(s, 3, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != b.Len() {
+		t.Fatalf("lengths differ: %d vs %d", a.Len(), b.Len())
+	}
+	for i := 0; i < a.Len(); i++ {
+		if a.Targets[i] != b.Targets[i] {
+			t.Fatalf("targets differ at %d", i)
+		}
+		for j := range a.Inputs[i] {
+			if a.Inputs[i][j] != b.Inputs[i][j] {
+				t.Fatalf("inputs differ at %d,%d", i, j)
+			}
+		}
+	}
+}
+
+func TestWindowEmbedErrors(t *testing.T) {
+	if _, err := WindowEmbed(ramp(30), 0, 6, 1); err == nil {
+		t.Fatal("D=0 accepted")
+	}
+	if _, err := WindowEmbed(ramp(30), 4, 0, 1); err == nil {
+		t.Fatal("spacing=0 accepted")
+	}
+	if _, err := WindowEmbed(ramp(30), 4, 6, 0); err == nil {
+		t.Fatal("τ=0 accepted")
+	}
+	if _, err := WindowEmbed(ramp(10), 4, 6, 1); !errors.Is(err, ErrTooShort) {
+		t.Fatal("too-short series accepted")
+	}
+}
+
+// Property: embedded windowing preserves x_{i+j·spacing} alignment for
+// all indices.
+func TestPropertyWindowEmbedAlignment(t *testing.T) {
+	f := func(dRaw, spRaw, tauRaw uint8) bool {
+		d := 1 + int(dRaw)%5
+		sp := 1 + int(spRaw)%5
+		tau := 1 + int(tauRaw)%5
+		s := ramp(60)
+		ds, err := WindowEmbed(s, d, sp, tau)
+		if err != nil {
+			return true
+		}
+		for i := 0; i < ds.Len(); i++ {
+			for j := 0; j < d; j++ {
+				if ds.Inputs[i][j] != s.Values[i+j*sp] {
+					return false
+				}
+			}
+			if ds.Targets[i] != s.Values[i+(d-1)*sp+tau] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

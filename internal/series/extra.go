@@ -1,0 +1,181 @@
+package series
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// Additional generators used by the robustness experiments and
+// available to downstream users: the Lorenz attractor (a second
+// chaotic benchmark), a generic ARMA process, a random walk, and a
+// noise-injection wrapper for perturbation studies.
+
+// LorenzConfig parameterizes the Lorenz system
+//
+//	dx/dt = σ(y-x),  dy/dt = x(ρ-z)-y,  dz/dt = xy-βz
+//
+// integrated with RK4; the emitted series is the x component sampled
+// every SampleEvery time units.
+type LorenzConfig struct {
+	Sigma, Rho, Beta float64
+	Dt               float64 // integration step
+	SampleEvery      float64 // sampling interval in time units
+	N                int     // samples to emit
+	Discard          int     // samples dropped from the front (transient)
+	X0, Y0, Z0       float64
+}
+
+// DefaultLorenz returns the classic chaotic parameter set.
+func DefaultLorenz(n int) LorenzConfig {
+	return LorenzConfig{
+		Sigma: 10, Rho: 28, Beta: 8.0 / 3.0,
+		Dt: 0.01, SampleEvery: 0.1,
+		N: n, Discard: 100,
+		X0: 1, Y0: 1, Z0: 1,
+	}
+}
+
+// Lorenz integrates the system and returns the x component.
+func Lorenz(cfg LorenzConfig) (*Series, error) {
+	if cfg.N <= 0 {
+		return nil, fmt.Errorf("series: Lorenz N=%d must be positive", cfg.N)
+	}
+	if cfg.Dt <= 0 || cfg.SampleEvery < cfg.Dt {
+		return nil, fmt.Errorf("series: Lorenz Dt=%v SampleEvery=%v invalid", cfg.Dt, cfg.SampleEvery)
+	}
+	if cfg.Discard < 0 {
+		return nil, fmt.Errorf("series: Lorenz Discard=%d must be non-negative", cfg.Discard)
+	}
+	stepsPerSample := int(math.Round(cfg.SampleEvery / cfg.Dt))
+	x, y, z := cfg.X0, cfg.Y0, cfg.Z0
+	deriv := func(x, y, z float64) (dx, dy, dz float64) {
+		return cfg.Sigma * (y - x), x*(cfg.Rho-z) - y, x*y - cfg.Beta*z
+	}
+	step := func() {
+		k1x, k1y, k1z := deriv(x, y, z)
+		k2x, k2y, k2z := deriv(x+cfg.Dt/2*k1x, y+cfg.Dt/2*k1y, z+cfg.Dt/2*k1z)
+		k3x, k3y, k3z := deriv(x+cfg.Dt/2*k2x, y+cfg.Dt/2*k2y, z+cfg.Dt/2*k2z)
+		k4x, k4y, k4z := deriv(x+cfg.Dt*k3x, y+cfg.Dt*k3y, z+cfg.Dt*k3z)
+		x += cfg.Dt / 6 * (k1x + 2*k2x + 2*k3x + k4x)
+		y += cfg.Dt / 6 * (k1y + 2*k2y + 2*k3y + k4y)
+		z += cfg.Dt / 6 * (k1z + 2*k2z + 2*k3z + k4z)
+	}
+	total := cfg.N + cfg.Discard
+	out := make([]float64, 0, cfg.N)
+	for s := 0; s < total; s++ {
+		for k := 0; k < stepsPerSample; k++ {
+			step()
+		}
+		if s >= cfg.Discard {
+			out = append(out, x)
+		}
+	}
+	return New("lorenz-x", out), nil
+}
+
+// ARMAConfig parameterizes a synthetic ARMA(p,q) process
+//
+//	x_t = C + Σ φ_k x_{t-k} + ε_t + Σ θ_k ε_{t-k},  ε ~ N(0, σ²)
+type ARMAConfig struct {
+	Phi   []float64 // AR coefficients φ_1..φ_p
+	Theta []float64 // MA coefficients θ_1..θ_q
+	C     float64   // intercept
+	Sigma float64   // innovation std
+	N     int
+	Seed  int64
+	Burn  int // warm-up samples discarded
+}
+
+// ARMAProcess generates the series. Stationarity is the caller's
+// responsibility (explosive φ yields explosive output).
+func ARMAProcess(cfg ARMAConfig) (*Series, error) {
+	if cfg.N <= 0 {
+		return nil, fmt.Errorf("series: ARMA N=%d must be positive", cfg.N)
+	}
+	if cfg.Sigma < 0 {
+		return nil, fmt.Errorf("series: ARMA Sigma=%v must be non-negative", cfg.Sigma)
+	}
+	if cfg.Burn < 0 {
+		return nil, fmt.Errorf("series: ARMA Burn=%d must be non-negative", cfg.Burn)
+	}
+	src := rng.New(cfg.Seed)
+	p, q := len(cfg.Phi), len(cfg.Theta)
+	total := cfg.N + cfg.Burn
+	xs := make([]float64, total)
+	eps := make([]float64, total)
+	for t := 0; t < total; t++ {
+		e := src.Norm(0, cfg.Sigma)
+		eps[t] = e
+		v := cfg.C + e
+		for k := 1; k <= p && t-k >= 0; k++ {
+			v += cfg.Phi[k-1] * xs[t-k]
+		}
+		for k := 1; k <= q && t-k >= 0; k++ {
+			v += cfg.Theta[k-1] * eps[t-k]
+		}
+		xs[t] = v
+	}
+	return New("arma", xs[cfg.Burn:]), nil
+}
+
+// RandomWalk generates x_t = x_{t-1} + N(drift, σ²), the classic
+// unpredictable baseline series.
+func RandomWalk(n int, drift, sigma float64, seed int64) (*Series, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("series: RandomWalk n=%d must be positive", n)
+	}
+	src := rng.New(seed)
+	out := make([]float64, n)
+	for t := 1; t < n; t++ {
+		out[t] = out[t-1] + src.Norm(drift, sigma)
+	}
+	return New("random-walk", out), nil
+}
+
+// AddNoise returns a copy of the series with Gaussian noise of the
+// given std added to every observation — the perturbation used by the
+// noise-robustness experiment.
+func AddNoise(s *Series, std float64, seed int64) *Series {
+	src := rng.New(seed)
+	out := make([]float64, s.Len())
+	for i, v := range s.Values {
+		out[i] = v + src.Norm(0, std)
+	}
+	return New(s.Name+"/noisy", out)
+}
+
+// Difference returns the first-difference series y_t = x_{t+1} - x_t
+// (length len-1), a standard stationarizing transform.
+func Difference(s *Series) (*Series, error) {
+	if s.Len() < 2 {
+		return nil, fmt.Errorf("series: Difference needs at least 2 values")
+	}
+	out := make([]float64, s.Len()-1)
+	for i := range out {
+		out[i] = s.Values[i+1] - s.Values[i]
+	}
+	return New(s.Name+"/diff", out), nil
+}
+
+// Aggregate returns the series of non-overlapping k-sample means
+// (e.g. hourly → daily), truncating the tail remainder.
+func Aggregate(s *Series, k int) (*Series, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("series: Aggregate k=%d must be positive", k)
+	}
+	n := s.Len() / k
+	if n == 0 {
+		return nil, fmt.Errorf("series: Aggregate(%d) of %d samples", k, s.Len())
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		sum := 0.0
+		for j := 0; j < k; j++ {
+			sum += s.Values[i*k+j]
+		}
+		out[i] = sum / float64(k)
+	}
+	return New(fmt.Sprintf("%s/agg%d", s.Name, k), out), nil
+}

@@ -1,0 +1,260 @@
+package series
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestMackeyGlassDeterministicChaotic(t *testing.T) {
+	s1, err := MackeyGlass(DefaultMackeyGlass(2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := MackeyGlass(DefaultMackeyGlass(2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Len() != 2000 {
+		t.Fatalf("len = %d", s1.Len())
+	}
+	for i := range s1.Values {
+		if s1.Values[i] != s2.Values[i] {
+			t.Fatal("Mackey-Glass integration is not deterministic")
+		}
+	}
+	// Post-transient values oscillate within the known attractor range
+	// (~0.2..1.4 for the standard parameters).
+	post := s1.Slice(500, 2000)
+	min, max := stats.MinMax(post.Values)
+	if min < 0.1 || max > 1.6 {
+		t.Fatalf("attractor range [%v,%v] outside expectation", min, max)
+	}
+	if max-min < 0.5 {
+		t.Fatalf("series looks flat: range %v", max-min)
+	}
+	// Chaotic, not periodic: the series keeps moving.
+	if stats.StdDev(post.Values) < 0.1 {
+		t.Fatalf("std %v too small", stats.StdDev(post.Values))
+	}
+}
+
+func TestMackeyGlassQuasiPeriod(t *testing.T) {
+	// For λ=17 the dominant pseudo-period is ~50 time units: the
+	// autocorrelation at lag 50 should be clearly positive and larger
+	// than at lag 25 (half period).
+	s, err := MackeyGlass(DefaultMackeyGlass(3000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	post := s.Slice(500, 3000).Values
+	ac50 := stats.Autocorrelation(post, 50)
+	ac25 := stats.Autocorrelation(post, 25)
+	if ac50 < 0.2 {
+		t.Fatalf("lag-50 autocorrelation %v, want positive structure", ac50)
+	}
+	if ac50 <= ac25 {
+		t.Fatalf("lag-50 ac %v not above lag-25 ac %v", ac50, ac25)
+	}
+}
+
+func TestMackeyGlassConfigErrors(t *testing.T) {
+	if _, err := MackeyGlass(MackeyGlassConfig{N: 0, Dt: 0.1}); err == nil {
+		t.Fatal("N=0 accepted")
+	}
+	if _, err := MackeyGlass(MackeyGlassConfig{N: 10, Dt: 0}); err == nil {
+		t.Fatal("Dt=0 accepted")
+	}
+	cfg := DefaultMackeyGlass(10)
+	cfg.Lambda = -1
+	if _, err := MackeyGlass(cfg); err == nil {
+		t.Fatal("negative delay accepted")
+	}
+}
+
+func TestMackeyGlassNoDelayDecays(t *testing.T) {
+	// With λ=0 and a=0 the equation is ds/dt=-b·s: exponential decay
+	// we can verify against the closed form.
+	cfg := MackeyGlassConfig{A: 0, B: 0.1, Lambda: 0, Dt: 0.1, X0: 1, N: 50}
+	s, err := MackeyGlass(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range s.Values {
+		want := math.Exp(-0.1 * float64(i+1))
+		if math.Abs(v-want) > 1e-6 {
+			t.Fatalf("t=%d: %v want %v", i+1, v, want)
+		}
+	}
+}
+
+func TestMackeyGlassPaperSplit(t *testing.T) {
+	train, test, err := MackeyGlassPaper()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if train.Len() != 1000 || test.Len() != 500 {
+		t.Fatalf("split %d/%d", train.Len(), test.Len())
+	}
+	all := append(append([]float64{}, train.Values...), test.Values...)
+	min, max := stats.MinMax(all)
+	if min < 0 || max > 1 {
+		t.Fatalf("normalized range [%v,%v]", min, max)
+	}
+	if max-min < 0.9 {
+		t.Fatalf("normalization did not span [0,1]: %v..%v", min, max)
+	}
+}
+
+func TestVeniceProperties(t *testing.T) {
+	s, err := Venice(DefaultVenice(20000, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := s.Summary()
+	// Levels live in the paper's -50..150 span for typical hours, with
+	// rare storm-on-high-tide excursions above it (the 1966 record
+	// acqua alta reached +194 cm).
+	if sum.Min < -100 || sum.Max > 260 {
+		t.Fatalf("levels out of plausible range: %+v", sum)
+	}
+	if sum.P05 < -60 || sum.P95 > 160 {
+		t.Fatalf("typical levels outside the paper's span: %+v", sum)
+	}
+	if sum.Max < 90 {
+		t.Fatalf("no acqua-alta-like peaks: max %v", sum.Max)
+	}
+	if sum.Mean < 0 || sum.Mean > 50 {
+		t.Fatalf("mean level %v implausible", sum.Mean)
+	}
+	// Strong semidiurnal structure: autocorrelation near the M2 period
+	// (~12.42h → lag 12) must dominate lag 6 (anti-phase).
+	ac12 := stats.Autocorrelation(s.Values, 12)
+	ac6 := stats.Autocorrelation(s.Values, 6)
+	if ac12 < 0.3 {
+		t.Fatalf("no tidal structure: lag-12 autocorr %v", ac12)
+	}
+	if ac12 <= ac6 {
+		t.Fatalf("lag-12 ac %v not above lag-6 ac %v", ac12, ac6)
+	}
+}
+
+func TestVeniceDeterministicPerSeed(t *testing.T) {
+	a, err := Venice(DefaultVenice(500, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Venice(DefaultVenice(500, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Values {
+		if a.Values[i] != b.Values[i] {
+			t.Fatal("same seed produced different series")
+		}
+	}
+	c, err := Venice(DefaultVenice(500, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Values {
+		if a.Values[i] != c.Values[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical series")
+	}
+}
+
+func TestVeniceConfigErrors(t *testing.T) {
+	if _, err := Venice(VeniceConfig{N: 0}); err == nil {
+		t.Fatal("N=0 accepted")
+	}
+	cfg := DefaultVenice(10, 1)
+	cfg.SurgeDecay = 1.0
+	if _, err := Venice(cfg); err == nil {
+		t.Fatal("non-stationary surge accepted")
+	}
+	cfg = DefaultVenice(10, 1)
+	cfg.StormHours = 0
+	if _, err := Venice(cfg); err == nil {
+		t.Fatal("StormHours=0 accepted")
+	}
+}
+
+func TestVenicePaperSplit(t *testing.T) {
+	train, val, err := VenicePaper(4000, 1000, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if train.Len() != 4000 || val.Len() != 1000 {
+		t.Fatalf("split %d/%d", train.Len(), val.Len())
+	}
+}
+
+func TestSunspotProperties(t *testing.T) {
+	s, err := Sunspots(DefaultSunspots(2739, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 2739 {
+		t.Fatalf("len %d", s.Len())
+	}
+	sum := s.Summary()
+	if sum.Min < 0 {
+		t.Fatalf("negative sunspot number %v", sum.Min)
+	}
+	if sum.Max < 60 || sum.Max > 400 {
+		t.Fatalf("peak %v implausible", sum.Max)
+	}
+	// ~11-year cycle: autocorrelation near lag 132 above lag 66.
+	ac132 := stats.Autocorrelation(s.Values, 132)
+	ac66 := stats.Autocorrelation(s.Values, 66)
+	if ac132 <= ac66 {
+		t.Fatalf("no solar cycle: lag-132 ac %v vs lag-66 ac %v", ac132, ac66)
+	}
+	// Quiet minima exist.
+	if sum.P05 > 20 {
+		t.Fatalf("no quiet minima: p05 = %v", sum.P05)
+	}
+}
+
+func TestSunspotConfigErrors(t *testing.T) {
+	if _, err := Sunspots(SunspotConfig{N: 0}); err == nil {
+		t.Fatal("N=0 accepted")
+	}
+	cfg := DefaultSunspots(10, 1)
+	cfg.RiseFrac = 1.5
+	if _, err := Sunspots(cfg); err == nil {
+		t.Fatal("RiseFrac>1 accepted")
+	}
+	cfg = DefaultSunspots(10, 1)
+	cfg.MeanPeriod = 0.5
+	if _, err := Sunspots(cfg); err == nil {
+		t.Fatal("tiny period accepted")
+	}
+}
+
+func TestSunspotsPaperSplit(t *testing.T) {
+	full, train, val, err := SunspotsPaper(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Len() != 2739 {
+		t.Fatalf("full len %d", full.Len())
+	}
+	if train.Len() != 2052 {
+		t.Fatalf("train len %d, want 2052 (Jan 1749 - Dec 1919)", train.Len())
+	}
+	if val.Len() != 579 {
+		t.Fatalf("val len %d, want 579 (Jan 1929 - Mar 1977)", val.Len())
+	}
+	min, max := stats.MinMax(full.Values)
+	if min < 0 || max > 1 {
+		t.Fatalf("standardized range [%v,%v]", min, max)
+	}
+}

@@ -1,0 +1,111 @@
+package series
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// SunspotConfig parameterizes the synthetic monthly sunspot-number
+// generator. Real solar cycles have a ~11-year mean period with large
+// cycle-to-cycle variation in amplitude and length, a fast rise and
+// slow decay within each cycle, multiplicative noise (active-sun
+// months are noisier), and deep quiet minima — the local behaviours,
+// noise, and "unpredictable zones" the paper highlights in §4.3.
+type SunspotConfig struct {
+	N          int     // number of monthly samples
+	MeanPeriod float64 // mean cycle length in months (~132)
+	PeriodJit  float64 // std of cycle-length variation in months
+	MeanAmp    float64 // mean cycle peak (sunspot number)
+	AmpJit     float64 // std of cycle peak variation
+	RiseFrac   float64 // fraction of the cycle spent rising (asymmetry)
+	NoiseFrac  float64 // multiplicative noise as a fraction of level
+	FloorNoise float64 // additive noise floor (quiet-sun months)
+	Seed       int64
+}
+
+// DefaultSunspots returns a configuration mimicking the 1749-1977
+// monthly record used by the paper: 2739 months by default scale.
+func DefaultSunspots(n int, seed int64) SunspotConfig {
+	return SunspotConfig{
+		N:          n,
+		MeanPeriod: 132,
+		PeriodJit:  14,
+		MeanAmp:    105,
+		AmpJit:     38,
+		RiseFrac:   0.38,
+		NoiseFrac:  0.16,
+		FloorNoise: 2.5,
+		Seed:       seed,
+	}
+}
+
+// Sunspots synthesizes the monthly series. Values are non-negative.
+func Sunspots(cfg SunspotConfig) (*Series, error) {
+	if cfg.N <= 0 {
+		return nil, fmt.Errorf("series: Sunspots N=%d must be positive", cfg.N)
+	}
+	if cfg.RiseFrac <= 0 || cfg.RiseFrac >= 1 {
+		return nil, fmt.Errorf("series: Sunspots RiseFrac=%v outside (0,1)", cfg.RiseFrac)
+	}
+	if cfg.MeanPeriod <= 1 {
+		return nil, fmt.Errorf("series: Sunspots MeanPeriod=%v too small", cfg.MeanPeriod)
+	}
+	src := rng.New(cfg.Seed)
+
+	values := make([]float64, 0, cfg.N)
+	for len(values) < cfg.N {
+		period := cfg.MeanPeriod + src.Norm(0, cfg.PeriodJit)
+		if period < cfg.MeanPeriod/2 {
+			period = cfg.MeanPeriod / 2
+		}
+		amp := cfg.MeanAmp + src.Norm(0, cfg.AmpJit)
+		if amp < 15 {
+			amp = 15
+		}
+		months := int(period)
+		rise := int(cfg.RiseFrac * period)
+		if rise < 1 {
+			rise = 1
+		}
+		for m := 0; m < months && len(values) < cfg.N; m++ {
+			// Asymmetric cycle envelope: sinusoidal quarter-wave rise,
+			// exponential-ish decay.
+			var env float64
+			if m < rise {
+				env = math.Sin(0.5 * math.Pi * float64(m) / float64(rise))
+			} else {
+				decay := float64(m-rise) / float64(months-rise)
+				env = math.Pow(math.Cos(0.5*math.Pi*decay), 1.6)
+			}
+			level := amp * env
+			level += src.Norm(0, cfg.NoiseFrac*level+cfg.FloorNoise)
+			if level < 0 {
+				level = 0
+			}
+			values = append(values, level)
+		}
+	}
+	return New("sunspots", values[:cfg.N]), nil
+}
+
+// SunspotsPaper reproduces the paper's protocol: a 1749-1977-length
+// monthly record (2739 months) standardized to [0,1] over the whole
+// record, split into a training segment (January 1749 - December 1919:
+// 2052 months) and a validation segment (January 1929 - March 1977:
+// months 2160..2738). Note the paper leaves a 1920-1928 gap between
+// the splits; we reproduce it.
+func SunspotsPaper(seed int64) (full, train, val *Series, err error) {
+	const (
+		totalMonths = 2739 // Jan 1749 .. Mar 1977
+		trainEnd    = 2052 // through Dec 1919
+		valStart    = 2160 // from Jan 1929
+	)
+	s, err := Sunspots(DefaultSunspots(totalMonths, seed))
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	norm, _ := s.Normalize()
+	return norm, norm.Slice(0, trainEnd), norm.Slice(valStart, totalMonths), nil
+}

@@ -1,0 +1,171 @@
+// Package stats provides the descriptive statistics and scaling
+// utilities shared by the series generators, the rule system, and the
+// experiment harnesses: moments, quantiles, histograms, autocorrelation
+// and min-max / z-score normalizers.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range xs {
+		s += v
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the population variance of xs (dividing by n), or 0
+// for fewer than 2 samples.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, v := range xs {
+		d := v - m
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// MinMax returns the smallest and largest values of xs. It panics on
+// an empty slice: callers always operate on non-empty series.
+func MinMax(xs []float64) (min, max float64) {
+	if len(xs) == 0 {
+		panic("stats: MinMax of empty slice")
+	}
+	min, max = xs[0], xs[0]
+	for _, v := range xs[1:] {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	return min, max
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
+// interpolation between order statistics. It panics on empty input or
+// q outside [0,1].
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Quantile of empty slice")
+	}
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("stats: Quantile q=%v outside [0,1]", q))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Median returns the 0.5 quantile.
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
+
+// Autocorrelation returns the lag-k autocorrelation of xs, in [-1,1].
+// It returns 0 when the series is too short or has zero variance.
+func Autocorrelation(xs []float64, lag int) float64 {
+	n := len(xs)
+	if lag < 0 || lag >= n {
+		return 0
+	}
+	m := Mean(xs)
+	var num, den float64
+	for i := 0; i < n; i++ {
+		d := xs[i] - m
+		den += d * d
+	}
+	if den == 0 {
+		return 0
+	}
+	for i := 0; i+lag < n; i++ {
+		num += (xs[i] - m) * (xs[i+lag] - m)
+	}
+	return num / den
+}
+
+// Histogram bins xs into nbins equal-width bins spanning [min,max] and
+// returns the counts. Values exactly at max land in the last bin.
+func Histogram(xs []float64, nbins int) []int {
+	if nbins <= 0 {
+		panic("stats: Histogram needs nbins > 0")
+	}
+	counts := make([]int, nbins)
+	if len(xs) == 0 {
+		return counts
+	}
+	min, max := MinMax(xs)
+	width := (max - min) / float64(nbins)
+	if width == 0 {
+		counts[0] = len(xs)
+		return counts
+	}
+	for _, v := range xs {
+		// Extreme ranges can overflow (max-min) to +Inf, making the
+		// ratio NaN; clamp instead of trusting the conversion.
+		ratio := (v - min) / width
+		b := 0
+		switch {
+		case math.IsNaN(ratio) || ratio < 0:
+			b = 0
+		case ratio >= float64(nbins):
+			b = nbins - 1
+		default:
+			b = int(ratio)
+		}
+		counts[b]++
+	}
+	return counts
+}
+
+// Summary bundles the headline statistics of a sample.
+type Summary struct {
+	N        int
+	Mean     float64
+	Std      float64
+	Min, Max float64
+	Median   float64
+	P05, P95 float64
+}
+
+// Summarize computes a Summary of xs. It panics on empty input.
+func Summarize(xs []float64) Summary {
+	min, max := MinMax(xs)
+	return Summary{
+		N:      len(xs),
+		Mean:   Mean(xs),
+		Std:    StdDev(xs),
+		Min:    min,
+		Max:    max,
+		Median: Median(xs),
+		P05:    Quantile(xs, 0.05),
+		P95:    Quantile(xs, 0.95),
+	}
+}
+
+// String renders the summary in one line.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g std=%.4g min=%.4g p05=%.4g med=%.4g p95=%.4g max=%.4g",
+		s.N, s.Mean, s.Std, s.Min, s.P05, s.Median, s.P95, s.Max)
+}
