@@ -288,27 +288,90 @@ func BenchmarkRuleMatch(b *testing.B) {
 	}
 }
 
-// BenchmarkEvaluateRule measures one full rule evaluation (match scan
-// + regression + fitness) on a 10k-pattern training set.
-func BenchmarkEvaluateRule(b *testing.B) {
+// BenchmarkMatchIndicesIndexed measures C_R(S) computation through
+// the indexed match engine on a 10k-pattern training set; compare
+// against BenchmarkMatchIndicesNaive for the engine's speedup.
+func BenchmarkMatchIndicesIndexed(b *testing.B) {
+	ds := benchTrainDataset(b, 10000, 24)
+	ev := core.NewEvaluator(ds, 0.2, 0, 1e-8, 1)
+	pop := core.InitStratified(ds, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev.MatchIndices(pop[i%len(pop)])
+	}
+}
+
+// BenchmarkMatchIndicesNaive is the reference linear scan over the
+// same rules and dataset.
+func BenchmarkMatchIndicesNaive(b *testing.B) {
+	ds := benchTrainDataset(b, 10000, 24)
+	ev := core.NewEvaluator(ds, 0.2, 0, 1e-8, 1)
+	pop := core.InitStratified(ds, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev.MatchIndicesScan(pop[i%len(pop)])
+	}
+}
+
+// BenchmarkEvaluateRuleCached measures the fitness path when the
+// evaluation cache is warm — the offspring-unchanged-after-mutation
+// case the cache exists for.
+func BenchmarkEvaluateRuleCached(b *testing.B) {
 	ds := benchTrainDataset(b, 10000, 24)
 	ev := core.NewEvaluator(ds, 0.2, 0, 1e-8, 1)
 	pop := core.InitStratified(ds, 10)
+	for _, r := range pop {
+		ev.Evaluate(r)
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ev.Evaluate(pop[i%len(pop)])
 	}
 }
 
-// BenchmarkEvaluateRuleParallel is the same scan with goroutine
-// chunking enabled.
+// uncachedRules clones n rules off the population, giving each a
+// unique interval signature (a sub-femto jitter on one bound) so
+// every Evaluate call misses the evaluation cache and performs the
+// full match + regression + fitness work.
+func uncachedRules(pop []*core.Rule, n int) []*core.Rule {
+	rules := make([]*core.Rule, n)
+	for i := range rules {
+		r := pop[i%len(pop)].Clone()
+		jitter := 1e-12 * float64(i/len(pop)+1)
+		for j := range r.Cond {
+			if !r.Cond[j].Wildcard {
+				r.Cond[j] = core.NewInterval(r.Cond[j].Lo+jitter, r.Cond[j].Hi)
+				break
+			}
+		}
+		rules[i] = r
+	}
+	return rules
+}
+
+// BenchmarkEvaluateRule measures one full rule evaluation (match scan
+// + regression + fitness) on a 10k-pattern training set. Rules carry
+// unique signatures so the evaluation cache never short-circuits the
+// work being measured.
+func BenchmarkEvaluateRule(b *testing.B) {
+	ds := benchTrainDataset(b, 10000, 24)
+	ev := core.NewEvaluator(ds, 0.2, 0, 1e-8, 1)
+	rules := uncachedRules(core.InitStratified(ds, 10), b.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev.Evaluate(rules[i])
+	}
+}
+
+// BenchmarkEvaluateRuleParallel is the same evaluation with goroutine
+// chunking enabled for the scan fallback.
 func BenchmarkEvaluateRuleParallel(b *testing.B) {
 	ds := benchTrainDataset(b, 10000, 24)
 	ev := core.NewEvaluator(ds, 0.2, 0, 1e-8, 0)
-	pop := core.InitStratified(ds, 10)
+	rules := uncachedRules(core.InitStratified(ds, 10), b.N)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		ev.Evaluate(pop[i%len(pop)])
+		ev.Evaluate(rules[i])
 	}
 }
 

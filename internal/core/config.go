@@ -38,6 +38,13 @@ type Config struct {
 	// Parallelism and reproducibility.
 	Workers int   // goroutines for match scans; 0 = GOMAXPROCS
 	Seed    int64 // RNG seed for this execution
+
+	// Index optionally shares a prebuilt match engine across
+	// executions over the same dataset (multi-run waves, islands).
+	// Nil — or an index built over a different dataset — makes the
+	// execution build its own. Purely a speed knob: results are
+	// identical either way.
+	Index *MatchIndex
 }
 
 // DistanceKind selects the phenotypic distance used by crowding

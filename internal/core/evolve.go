@@ -57,7 +57,7 @@ func NewExecution(cfg Config, data *series.Dataset) (*Execution, error) {
 
 	ex := &Execution{
 		Config:   cfg,
-		Eval:     NewEvaluator(data, emax, cfg.FMin, cfg.Ridge, cfg.Workers),
+		Eval:     NewEvaluatorWith(data, emax, cfg.FMin, cfg.Ridge, cfg.Workers, cfg.Index),
 		src:      rng.New(cfg.Seed),
 		predSpan: hi - lo,
 	}

@@ -10,22 +10,44 @@ import (
 
 // Evaluator fits rules against a fixed training dataset and computes
 // the paper's fitness. One Evaluator is shared by a whole execution;
-// it is safe for concurrent use by multiple goroutines because it is
-// read-only after construction.
+// it is safe for concurrent use by multiple goroutines: the dataset
+// and match index are read-only after construction and the evaluation
+// cache is internally synchronized.
 type Evaluator struct {
 	data    *series.Dataset
 	emax    float64
 	fmin    float64
 	ridge   float64
 	workers int
+	idx     *MatchIndex
+	cache   *evalCache
 }
 
-// NewEvaluator builds an evaluator over the training dataset. emax
-// and fmin are the paper's EMAX and f_min; ridge regularizes the
-// consequent regression; workers bounds the parallel match scan
+// NewEvaluator builds an evaluator over the training dataset,
+// including its own indexed match engine. emax and fmin are the
+// paper's EMAX and f_min; ridge regularizes the consequent
+// regression; workers bounds the parallel fallback scan
 // (0 = GOMAXPROCS).
 func NewEvaluator(data *series.Dataset, emax, fmin, ridge float64, workers int) *Evaluator {
-	return &Evaluator{data: data, emax: emax, fmin: fmin, ridge: ridge, workers: workers}
+	return NewEvaluatorWith(data, emax, fmin, ridge, workers, nil)
+}
+
+// NewEvaluatorWith is NewEvaluator reusing a prebuilt MatchIndex so
+// callers evaluating against the same dataset many times (multi-run,
+// islands, the Pittsburgh baseline) pay the index construction once.
+// A nil idx — or one built over a different dataset — triggers a
+// fresh build.
+func NewEvaluatorWith(data *series.Dataset, emax, fmin, ridge float64, workers int, idx *MatchIndex) *Evaluator {
+	idx = ensureIndex(idx, data)
+	return &Evaluator{
+		data:    data,
+		emax:    emax,
+		fmin:    fmin,
+		ridge:   ridge,
+		workers: workers,
+		idx:     idx,
+		cache:   newEvalCache(),
+	}
 }
 
 // EMax returns the evaluator's EMAX parameter.
@@ -34,10 +56,28 @@ func (e *Evaluator) EMax() float64 { return e.emax }
 // Data returns the training dataset the evaluator scores against.
 func (e *Evaluator) Data() *series.Dataset { return e.data }
 
+// Index returns the evaluator's match index so it can be shared with
+// other evaluators over the same dataset.
+func (e *Evaluator) Index() *MatchIndex { return e.idx }
+
 // MatchIndices returns the indices of training patterns matched by
-// the rule — the paper's C_R(S). The scan is chunked over goroutines;
-// chunk-ordered merging keeps the result deterministic.
+// the rule — the paper's C_R(S) — in ascending order. Selective rules
+// are answered by the match index; unselective ones fall back to the
+// chunk-parallel scan. Both paths return identical results, so the
+// choice (and the parallelism degree) never affects outcomes.
 func (e *Evaluator) MatchIndices(r *Rule) []int {
+	if out, ok := e.idx.lookup(r); ok {
+		return out
+	}
+	return e.MatchIndicesScan(r)
+}
+
+// MatchIndicesScan is the reference implementation: a linear scan of
+// every training pattern, chunked over goroutines for large datasets
+// with chunk-ordered merging keeping the result deterministic. It is
+// exported for benchmarks and equivalence tests; MatchIndices is the
+// fast path.
+func (e *Evaluator) MatchIndicesScan(r *Rule) []int {
 	n := e.data.Len()
 	// Parallelism pays only for large scans; the threshold keeps the
 	// tiny datasets in unit tests on the fast serial path.
@@ -69,7 +109,32 @@ func (e *Evaluator) MatchIndices(r *Rule) []int {
 //
 // Rules matching zero or one point keep (or are assigned) a degenerate
 // consequent and the fitness floor.
+//
+// Results are memoized by conditional-part signature: an offspring
+// whose genes survived mutation/crossover unchanged reuses the prior
+// match scan and regression bit-for-bit instead of recomputing them.
 func (e *Evaluator) Evaluate(r *Rule) {
+	key := condKey(r.Cond)
+	if c := e.cache.get(key); c != nil {
+		c.apply(r)
+		return
+	}
+	e.evaluateUncached(r)
+	c := &cachedEval{
+		prediction: r.Prediction,
+		err:        r.Error,
+		matches:    r.Matches,
+		fitness:    r.Fitness,
+	}
+	if r.Fit != nil {
+		c.fit = r.Fit.Clone()
+	}
+	e.cache.put(key, c)
+}
+
+// evaluateUncached is the full evaluation: match scan, regression,
+// fitness gate.
+func (e *Evaluator) evaluateUncached(r *Rule) {
 	idx := e.MatchIndices(r)
 	r.Matches = len(idx)
 	if len(idx) == 0 {
@@ -127,9 +192,17 @@ func (e *Evaluator) Evaluate(r *Rule) {
 	}
 }
 
+// CacheStats returns the evaluation cache's hit and miss counts (a
+// diagnostics hook for tests, benches and progress reporting).
+func (e *Evaluator) CacheStats() (hits, misses int) { return e.cache.stats() }
+
 // EvaluateAll evaluates every rule, parallelizing across rules (the
-// per-rule scan then runs serially, avoiding nested parallelism).
+// per-rule work then runs serially, avoiding nested parallelism). The
+// workers share the match index and evaluation cache; cached results
+// are bit-identical to recomputation, so scheduling cannot change
+// outcomes.
 func (e *Evaluator) EvaluateAll(rules []*Rule) {
-	serial := &Evaluator{data: e.data, emax: e.emax, fmin: e.fmin, ridge: e.ridge, workers: 1}
+	serial := *e
+	serial.workers = 1
 	parallel.For(len(rules), e.workers, func(i int) { serial.Evaluate(rules[i]) })
 }

@@ -62,6 +62,9 @@ func RunIslands(cfg IslandConfig, data *series.Dataset) (*IslandResult, error) {
 	}
 	seeds := rng.New(cfg.Base.Seed).SplitN(cfg.Islands)
 	islands := make([]*Execution, cfg.Islands)
+	// All islands evolve against the same dataset; share one match
+	// index instead of building Islands copies.
+	cfg.Base.Index = ensureIndex(cfg.Base.Index, data)
 	for i := range islands {
 		c := cfg.Base
 		c.Seed = seeds[i].Seed()

@@ -1,0 +1,264 @@
+package core
+
+import (
+	"encoding/binary"
+	"math"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/linalg"
+	"repro/internal/series"
+)
+
+// MatchIndex is the indexed match engine: a per-dimension sorted view
+// of a training dataset that answers "which patterns does this rule
+// match" (the paper's C_R(S)) without scanning all n patterns. For
+// each input lag j it keeps the pattern indices sorted by the lag's
+// value, so the patterns satisfying one interval gene form a
+// contiguous run found by two binary searches. A rule's matched set
+// is computed by taking the run of its most selective gene and
+// verifying only those candidates against the remaining genes —
+// O(D·log n + k·D) for k candidates instead of O(n·D) per rule.
+//
+// The index is immutable after construction and therefore safe for
+// concurrent use; it can be shared across every Evaluator, Execution,
+// island and experiment run over the same dataset.
+type MatchIndex struct {
+	data *series.Dataset
+	vals [][]float64 // vals[j][k]: k-th smallest value of lag j
+	perm [][]int32   // perm[j][k]: pattern index holding vals[j][k]
+
+	// degenerate is set when the data contains NaN: NaN has no total
+	// order, so the sorted-run invariant the binary searches rely on
+	// does not hold and every lookup must fall back to scanning
+	// (where Rule.Match defines the NaN semantics).
+	degenerate bool
+}
+
+// NewMatchIndex builds the per-dimension sorted indexes over the
+// dataset. Cost is O(D·n·log n) once, amortized over the many
+// thousands of rule evaluations of an evolutionary run.
+func NewMatchIndex(data *series.Dataset) *MatchIndex {
+	n, d := data.Len(), data.D
+	ix := &MatchIndex{
+		data: data,
+		vals: make([][]float64, d),
+		perm: make([][]int32, d),
+	}
+	for j := 0; j < d; j++ {
+		p := make([]int32, n)
+		for i := range p {
+			p[i] = int32(i)
+		}
+		sort.Slice(p, func(a, b int) bool {
+			va, vb := data.Inputs[p[a]][j], data.Inputs[p[b]][j]
+			if va != vb {
+				return va < vb
+			}
+			return p[a] < p[b] // deterministic tie-break
+		})
+		v := make([]float64, n)
+		for k, i := range p {
+			v[k] = data.Inputs[i][j]
+			if math.IsNaN(v[k]) {
+				ix.degenerate = true
+			}
+		}
+		ix.perm[j] = p
+		ix.vals[j] = v
+	}
+	return ix
+}
+
+// Data returns the dataset the index was built over.
+func (ix *MatchIndex) Data() *series.Dataset { return ix.data }
+
+// ensureIndex returns idx when it was built over data, otherwise a
+// fresh index — the single sharing predicate behind every wiring
+// site (evaluators, multi-run waves, islands).
+func ensureIndex(idx *MatchIndex, data *series.Dataset) *MatchIndex {
+	if idx == nil || idx.data != data {
+		return NewMatchIndex(data)
+	}
+	return idx
+}
+
+// lookup returns the rule's matched pattern indices in ascending
+// order. ok=false means no gene is selective enough for the index to
+// beat a linear scan; the caller should fall back to scanning.
+func (ix *MatchIndex) lookup(r *Rule) (out []int, ok bool) {
+	if ix.degenerate {
+		return nil, false
+	}
+	n := len(ix.data.Targets)
+	bestDim, bestLo, bestHi := -1, 0, 0
+	bestCount := n + 1
+	for j, iv := range r.Cond {
+		if iv.Wildcard {
+			continue
+		}
+		if math.IsNaN(iv.Lo) || math.IsNaN(iv.Hi) {
+			// A NaN bound is unconstraining in Rule.Match (every
+			// comparison is false) but poisons the binary searches —
+			// defer to the scan, which owns the NaN semantics.
+			return nil, false
+		}
+		vals := ix.vals[j]
+		lo := sort.SearchFloat64s(vals, iv.Lo)
+		hi := sort.Search(len(vals), func(k int) bool { return vals[k] > iv.Hi })
+		if hi < lo {
+			// Inverted gene (Lo > Hi, e.g. loaded from JSON without
+			// normalization): Contains is false everywhere, matching
+			// the scan's empty result.
+			hi = lo
+		}
+		if c := hi - lo; c < bestCount {
+			bestDim, bestLo, bestHi, bestCount = j, lo, hi, c
+		}
+	}
+	if bestDim == -1 {
+		// All-wildcard rule: every pattern matches.
+		out = make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out, true
+	}
+	if bestCount == 0 {
+		return nil, true
+	}
+	// When even the most selective gene admits over half the dataset,
+	// candidate verification plus the final sort costs about as much
+	// as the straight scan, which also visits indices in order for
+	// free — let the caller scan.
+	if bestCount*2 > n {
+		return nil, false
+	}
+	// Candidates arrive in value order, but callers (and the naive
+	// scan this must stay interchangeable with) expect ascending
+	// index order. Collecting hits in a bitmap and sweeping its words
+	// restores that order in O(k + n/64) — far cheaper than sorting.
+	words := make([]uint64, (n+63)>>6)
+	hits := 0
+	for _, pi := range ix.perm[bestDim][bestLo:bestHi] {
+		if r.Match(ix.data.Inputs[pi]) {
+			words[pi>>6] |= 1 << (uint(pi) & 63)
+			hits++
+		}
+	}
+	if hits == 0 {
+		return nil, true
+	}
+	out = make([]int, 0, hits)
+	for w, word := range words {
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			out = append(out, w<<6+b)
+			word &^= 1 << b
+		}
+	}
+	return out, true
+}
+
+// --- offspring-side evaluation cache -----------------------------------
+
+// condKey encodes a rule's conditional part as a byte-exact signature:
+// one tag byte per gene plus the IEEE-754 bits of its bounds. Two
+// rules share a key iff their matched sets and fitted consequents are
+// necessarily identical, so cached results are exact, not approximate.
+func condKey(cond []Interval) string {
+	b := make([]byte, 0, len(cond)*17)
+	var u [8]byte
+	for _, iv := range cond {
+		if iv.Wildcard {
+			b = append(b, 1)
+			continue
+		}
+		b = append(b, 0)
+		binary.LittleEndian.PutUint64(u[:], math.Float64bits(iv.Lo))
+		b = append(b, u[:]...)
+		binary.LittleEndian.PutUint64(u[:], math.Float64bits(iv.Hi))
+		b = append(b, u[:]...)
+	}
+	return string(b)
+}
+
+// cachedEval is one memoized evaluation result. Fit is stored as a
+// private clone; apply hands out fresh clones so no two rules ever
+// share consequent storage.
+type cachedEval struct {
+	fit        *linalg.LinearFit
+	prediction float64
+	err        float64
+	matches    int
+	fitness    float64
+}
+
+// apply copies the cached result onto the rule, mirroring
+// Evaluator.Evaluate exactly: a zero-match rule keeps its prior
+// Prediction (initialization sets bin centers used by crowding).
+func (c *cachedEval) apply(r *Rule) {
+	r.Matches = c.matches
+	r.Error = c.err
+	r.Fitness = c.fitness
+	if c.fit == nil {
+		r.Fit = nil
+		return
+	}
+	r.Fit = c.fit.Clone()
+	r.Prediction = c.prediction
+}
+
+// evalCache memoizes evaluations by conditional-part signature so
+// offspring whose genes survived mutation/crossover unchanged reuse
+// prior match/regression work. Because evaluation is a deterministic
+// function of the signature (over a fixed dataset and evaluator
+// parameters), cache hits are bit-identical to recomputation —
+// results never depend on hit patterns, and therefore not on
+// goroutine scheduling either.
+type evalCache struct {
+	mu     sync.RWMutex
+	m      map[string]*cachedEval
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// evalCacheLimit bounds cache memory. When the map fills up it is
+// dropped wholesale (generation-style eviction): the population keeps
+// re-seeding the hot entries, and the bound keeps week-long runs flat.
+const evalCacheLimit = 1 << 15
+
+func newEvalCache() *evalCache {
+	return &evalCache{m: make(map[string]*cachedEval)}
+}
+
+// get is the hot path shared by every EvaluateAll worker: a read lock
+// on the map plus atomic counters, so concurrent cache hits never
+// serialize on an exclusive lock.
+func (c *evalCache) get(key string) *cachedEval {
+	c.mu.RLock()
+	e := c.m[key]
+	c.mu.RUnlock()
+	if e != nil {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return e
+}
+
+func (c *evalCache) put(key string, e *cachedEval) {
+	c.mu.Lock()
+	if len(c.m) >= evalCacheLimit {
+		c.m = make(map[string]*cachedEval)
+	}
+	c.m[key] = e
+	c.mu.Unlock()
+}
+
+// Stats returns the hit/miss counters (for tests and benchmarks).
+func (c *evalCache) stats() (hits, misses int) {
+	return int(c.hits.Load()), int(c.misses.Load())
+}

@@ -55,6 +55,9 @@ func MultiRun(cfg MultiRunConfig, data *series.Dataset) (*MultiRunResult, error)
 	}
 	seeds := rng.New(cfg.Base.Seed).SplitN(cfg.MaxExecutions)
 	res := &MultiRunResult{RuleSet: NewRuleSet(data.D)}
+	// One match index serves every execution: it is immutable, so the
+	// concurrent waves can share it freely.
+	cfg.Base.Index = ensureIndex(cfg.Base.Index, data)
 
 	wave := parallel.Workers(cfg.Parallelism)
 	for done := 0; done < cfg.MaxExecutions; {

@@ -102,6 +102,124 @@ func TestPropertyFitnessMonotone(t *testing.T) {
 	}
 }
 
+// Property: the indexed match engine is extensionally equal to the
+// naive linear scan — identical indices, identical order — for random
+// datasets, dimensions, and rules (wildcards, inverted draws, empty
+// and unselective intervals included).
+func TestPropertyIndexedMatchEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		src := rng.New(seed)
+		n := 10 + src.Intn(200)
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = src.Uniform(-2, 2)
+		}
+		d := 1 + src.Intn(5)
+		ds := datasetFromValues(v, d, 1)
+		if ds == nil {
+			return true
+		}
+		ev := NewEvaluator(ds, 0.8, -5, 1e-8, 1)
+		for trial := 0; trial < 10; trial++ {
+			cond := make([]Interval, d)
+			for j := range cond {
+				switch {
+				case src.Bool(0.25):
+					cond[j] = Wild()
+				case src.Bool(0.15):
+					// Deliberately unselective: spans the whole data range
+					// so the engine exercises its scan fallback.
+					cond[j] = NewInterval(-3, 3)
+				case src.Bool(0.1):
+					// Genuinely inverted bounds (Lo > Hi), bypassing
+					// NewInterval's swap — reachable via ReadJSON or
+					// direct construction; must match nothing, not panic.
+					cond[j] = Interval{Lo: 1, Hi: -1}
+				default:
+					cond[j] = NewInterval(src.Uniform(-2.5, 2.5), src.Uniform(-2.5, 2.5))
+				}
+			}
+			r := NewRule(cond)
+			indexed := ev.MatchIndices(r)
+			naive := ev.MatchIndicesScan(r)
+			if len(indexed) != len(naive) {
+				return false
+			}
+			for k := range indexed {
+				if indexed[k] != naive[k] {
+					return false
+				}
+			}
+			if len(indexed) == 0 && indexed != nil {
+				return false // empty result must be nil, like the scan's
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a cache hit reproduces the uncached evaluation
+// bit-for-bit — evaluating a fresh rule with the same conditional
+// part yields identical Matches, Error, Fitness, Prediction and
+// consequent, and the consequent storage is never shared.
+func TestPropertyEvalCacheBitIdentical(t *testing.T) {
+	f := func(seed int64) bool {
+		src := rng.New(seed)
+		n := 30 + src.Intn(100)
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = src.Uniform(-2, 2)
+		}
+		ds := datasetFromValues(v, 3, 1)
+		if ds == nil {
+			return true
+		}
+		ev := NewEvaluator(ds, 0.8, -5, 1e-8, 1)
+		cond := make([]Interval, 3)
+		for j := range cond {
+			if src.Bool(0.3) {
+				cond[j] = Wild()
+			} else {
+				cond[j] = NewInterval(src.Uniform(-2, 2), src.Uniform(-2, 2))
+			}
+		}
+		a := NewRule(cond)
+		ev.Evaluate(a) // miss: computes and seeds the cache
+		b := NewRule(append([]Interval(nil), cond...))
+		ev.Evaluate(b) // hit: must replay a's result exactly
+		if a.Matches != b.Matches || a.Fitness != b.Fitness {
+			return false
+		}
+		if a.Error != b.Error && !(math.IsInf(a.Error, 1) && math.IsInf(b.Error, 1)) {
+			return false
+		}
+		if (a.Fit == nil) != (b.Fit == nil) {
+			return false
+		}
+		if a.Fit != nil {
+			if a.Fit == b.Fit || a.Prediction != b.Prediction {
+				return false
+			}
+			if a.Fit.Intercept != b.Fit.Intercept {
+				return false
+			}
+			for j := range a.Fit.Coef {
+				if a.Fit.Coef[j] != b.Fit.Coef[j] {
+					return false
+				}
+			}
+		}
+		hits, _ := ev.CacheStats()
+		return hits >= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // Property: evaluation on a dataset always yields internally
 // consistent rules: Matches >= 0; valid fitness implies Matches > 1
 // and Error < EMAX; rules with matches carry a consequent.

@@ -75,10 +75,7 @@ func (r *Rule) Clone() *Rule {
 		Fitness:    r.Fitness,
 	}
 	if r.Fit != nil {
-		out.Fit = &linalg.LinearFit{
-			Coef:      append([]float64(nil), r.Fit.Coef...),
-			Intercept: r.Fit.Intercept,
-		}
+		out.Fit = r.Fit.Clone()
 	}
 	return out
 }

@@ -62,12 +62,16 @@ func Ablations(sc Scale, seed int64) (*AblationResult, error) {
 	}
 
 	res := &AblationResult{Scale: sc}
+	// Every variant evolves against the same windowed series; one
+	// match index serves all eight MultiRun sweeps.
+	idx := core.NewMatchIndex(train)
 	for _, v := range variants {
 		base := core.Default(train.D)
 		base.Horizon = train.Horizon
 		base.PopSize = sc.PopSize
 		base.Generations = sc.Generations
 		base.Seed = seed
+		base.Index = idx
 		v.mutate(&base)
 		mr, err := core.MultiRun(core.MultiRunConfig{
 			Base:           base,

@@ -45,6 +45,10 @@ func ruleSystemRun(train, val *series.Dataset, sc Scale, seed int64, emaxFrac fl
 	base.PopSize = sc.PopSize
 	base.Generations = sc.Generations
 	base.Seed = seed
+	// Build the match index here rather than inside MultiRun so the
+	// cost is paid exactly once per harness invocation even when the
+	// coverage loop spawns many execution waves.
+	base.Index = core.NewMatchIndex(train)
 	if emaxFrac > 0 {
 		lo, hi := train.TargetRange()
 		base.EMax = emaxFrac * (hi - lo)

@@ -93,6 +93,11 @@ func FitAffine(xs [][]float64, y []float64, ridge float64) (*LinearFit, error) {
 	return &LinearFit{Coef: beta[:d], Intercept: beta[d]}, nil
 }
 
+// Clone returns a deep copy sharing no storage with f.
+func (f *LinearFit) Clone() *LinearFit {
+	return &LinearFit{Coef: append([]float64(nil), f.Coef...), Intercept: f.Intercept}
+}
+
 // Predict evaluates the fit at x.
 func (f *LinearFit) Predict(x []float64) float64 {
 	if len(x) != len(f.Coef) {

@@ -94,7 +94,10 @@ func Run(cfg Config, data *series.Dataset) (*Result, error) {
 		return nil, errors.New("pittsburgh: empty training set")
 	}
 	src := rng.New(cfg.Seed)
-	eval := newSetEvaluator(data, cfg.CoverWeight)
+	// The set evaluator re-fits every rule of every individual each
+	// generation against the same dataset — exactly the workload the
+	// core's indexed match engine accelerates.
+	eval := newSetEvaluator(data, cfg.CoverWeight, core.NewMatchIndex(data))
 
 	// Initial population: each individual draws its rules from the
 	// paper's stratified initializer (so sets start with full output
@@ -161,7 +164,7 @@ type setEvaluator struct {
 	lagHi       []float64
 }
 
-func newSetEvaluator(data *series.Dataset, coverWeight float64) *setEvaluator {
+func newSetEvaluator(data *series.Dataset, coverWeight float64, idx *core.MatchIndex) *setEvaluator {
 	lo, hi := data.TargetRange()
 	span := hi - lo
 	if span == 0 {
@@ -185,7 +188,7 @@ func newSetEvaluator(data *series.Dataset, coverWeight float64) *setEvaluator {
 	return &setEvaluator{
 		data:        data,
 		coverWeight: coverWeight,
-		ruleEval:    core.NewEvaluator(data, math.Inf(1), 0, 1e-8, 1),
+		ruleEval:    core.NewEvaluatorWith(data, math.Inf(1), 0, 1e-8, 1, idx),
 		span:        span,
 		lagLo:       lagLo,
 		lagHi:       lagHi,

@@ -145,7 +145,7 @@ func TestDeterministicPerSeed(t *testing.T) {
 func TestCrossoverSetsProvenance(t *testing.T) {
 	ds := sineDataset(t, 200, 3)
 	cfg := tinyConfig(11)
-	eval := newSetEvaluator(ds, cfg.CoverWeight)
+	eval := newSetEvaluator(ds, cfg.CoverWeight, nil)
 	_ = eval
 	// Build two marked parents.
 	a := &individual{}
