@@ -16,6 +16,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/neural"
 	"repro/internal/parallel"
@@ -372,6 +373,107 @@ func BenchmarkEvaluateRuleParallel(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ev.Evaluate(rules[i])
+	}
+}
+
+// --- Evaluation engine (internal/engine) ---------------------------------
+
+// benchEngineRules prepares batches of signature-unique rules so every
+// evaluation misses the cache and performs real match+regression work.
+func benchEngineRules(b *testing.B, ds *series.Dataset, batch int) []*core.Rule {
+	b.Helper()
+	return uncachedRules(core.InitStratified(ds, 16), b.N*batch)
+}
+
+const engineBenchBatch = 128
+
+// BenchmarkEngineBatch measures batched offspring evaluation: one
+// EvaluateAll scheduling pass serves a whole generation of 128 rules
+// through an 8-shard engine. On multicore hosts the pass fans the
+// shard walks and the consequent regressions out across rules, which
+// per-rule dispatch cannot (it parallelizes only within one rule's
+// match); on a single core the two converge. Compare against
+// BenchmarkEnginePerRule for the batching speedup and against
+// BenchmarkEvaluateRule (×128) for the sequential single-index path.
+func BenchmarkEngineBatch(b *testing.B) {
+	ds := benchTrainDataset(b, 10000, 24)
+	eng := engine.New(ds, engine.Options{Shards: 8})
+	ev := core.NewEvaluatorOpt(ds, 0.2, 0, 1e-8, 0,
+		core.EvalOptions{Backend: eng, Cache: eng.Cache()})
+	rules := benchEngineRules(b, ds, engineBenchBatch)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev.EvaluateAll(rules[i*engineBenchBatch : (i+1)*engineBenchBatch])
+	}
+}
+
+// BenchmarkEnginePerRule dispatches the same 128-rule generations to
+// the same engine one rule at a time — the pre-batching behaviour the
+// scheduling pass replaces.
+func BenchmarkEnginePerRule(b *testing.B) {
+	ds := benchTrainDataset(b, 10000, 24)
+	eng := engine.New(ds, engine.Options{Shards: 8})
+	ev := core.NewEvaluatorOpt(ds, 0.2, 0, 1e-8, 0,
+		core.EvalOptions{Backend: eng, Cache: eng.Cache()})
+	rules := benchEngineRules(b, ds, engineBenchBatch)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, r := range rules[i*engineBenchBatch : (i+1)*engineBenchBatch] {
+			ev.Evaluate(r)
+		}
+	}
+}
+
+// benchGrownSeries returns a series long enough for a 20k-pattern
+// training prefix plus one 512-sample streaming chunk.
+func benchGrownSeries(b *testing.B, n int) []float64 {
+	b.Helper()
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = math.Sin(2*math.Pi*float64(i)/40) + 0.3*math.Sin(2*math.Pi*float64(i)/13)
+	}
+	return v
+}
+
+// BenchmarkShardsAppend measures incremental index maintenance: one
+// 512-pattern streaming chunk appended to an 8-shard engine, which
+// rebuilds only the shard the chunk is routed to. Compare against
+// BenchmarkShardsFullRebuild — the cost Append avoids.
+func BenchmarkShardsAppend(b *testing.B) {
+	const n, d, tail = 20000, 24, 512
+	v := benchGrownSeries(b, n+tail+d)
+	inputs := make([][]float64, 0, tail)
+	targets := make([]float64, 0, tail)
+	for i := n - d; i+d < len(v); i++ {
+		inputs = append(inputs, v[i:i+d])
+		targets = append(targets, v[i+d])
+	}
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		ds, err := series.Window(series.New("bench", v[:n]), d, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s := engine.NewShards(ds, 8, 0)
+		b.StartTimer()
+		if err := s.Append(inputs, targets); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkShardsFullRebuild measures the from-scratch alternative to
+// Append: re-sharding and re-indexing the whole grown dataset.
+func BenchmarkShardsFullRebuild(b *testing.B) {
+	const n, d, tail = 20000, 24, 512
+	v := benchGrownSeries(b, n+tail+d)
+	grown, err := series.Window(series.New("bench", v), d, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		engine.NewShards(grown, 8, 0)
 	}
 }
 

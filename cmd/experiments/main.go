@@ -19,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"repro/internal/experiments"
 )
@@ -38,6 +39,7 @@ func main() {
 		full       = flag.Bool("full", false, "use the paper's full-scale protocol")
 		tiny       = flag.Bool("tiny", false, "use the unit-test scale (fast smoke run)")
 		seed       = flag.Int64("seed", 42, "base RNG seed")
+		shards     = flag.Int("shards", 0, "training-set shards for the batched evaluation engine (0 = single index, -1 = one per core)")
 	)
 	flag.Parse()
 
@@ -47,6 +49,14 @@ func main() {
 	}
 	if *tiny {
 		sc = experiments.Tiny()
+	}
+	if *shards != 0 {
+		// Route every rule evaluation through the sharded engine;
+		// bit-identical to the single-index path at any shard count.
+		sc.EngineShards = *shards
+		if sc.EngineShards < 0 {
+			sc.EngineShards = runtime.GOMAXPROCS(0)
+		}
 	}
 
 	anyExtra := *tradeoff || *horizons || *noise || *approaches || *general

@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/metrics"
 	"repro/internal/plot"
 	"repro/internal/series"
@@ -116,6 +117,7 @@ func cmdTrain(args []string) error {
 	coverage := fs.Float64("coverage", 0.98, "training coverage target")
 	emax := fs.Float64("emax", 0, "EMAX (0 = 10% of target range)")
 	seed := fs.Int64("seed", 1, "RNG seed")
+	shards := fs.Int("shards", 0, "training-set shards for the batched evaluation engine (0 = single index, -1 = one per core)")
 	out := fs.String("out", "rules.json", "output rule-set path")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -137,6 +139,16 @@ func cmdTrain(args []string) error {
 	base.Generations = *gens
 	base.EMax = *emax
 	base.Seed = *seed
+	if *shards != 0 {
+		// Sharded, batched evaluation engine with a result cache
+		// shared across the accumulated executions. Results are
+		// bit-identical to the single-index path at any shard count.
+		n := *shards
+		if n < 0 {
+			n = 0 // engine default: one shard per core
+		}
+		engine.New(ds, engine.Options{Shards: n}).Configure(&base)
+	}
 	res, err := core.MultiRun(core.MultiRunConfig{
 		Base:           base,
 		CoverageTarget: *coverage,

@@ -1,0 +1,128 @@
+// Streaming: incremental index maintenance end to end. The rule
+// system evolves on a prefix of the Mackey-Glass series; the
+// remainder then arrives in chunks, as an append-only stream. Each
+// round first forecasts the incoming chunk (a true out-of-sample,
+// prequential test), then feeds its patterns to Engine.Append — which
+// routes them to the smallest shard and rebuilds only that shard's
+// index, instead of re-indexing the whole training set — and retrains
+// on the grown data through the same engine and shared cache.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/metrics"
+	"repro/internal/series"
+)
+
+const (
+	d       = 6 // window width
+	horizon = 1
+	prefix  = 1800 // samples the system first evolves on
+	chunk   = 300  // samples arriving per streaming round
+	total   = 3000
+)
+
+// tailPatterns returns the windowed patterns a series grown from
+// oldLen to len(values) samples adds — the Append payload. Windows
+// straddling the boundary belong to the new data: they could not be
+// formed before the chunk arrived.
+func tailPatterns(values []float64, oldLen int) (inputs [][]float64, targets []float64) {
+	first := oldLen - d - horizon + 1
+	if first < 0 {
+		first = 0
+	}
+	for i := first; i+d-1+horizon < len(values); i++ {
+		inputs = append(inputs, values[i:i+d])
+		targets = append(targets, values[i+d-1+horizon])
+	}
+	return inputs, targets
+}
+
+// train accumulates a rule system over the engine's current data.
+func train(eng *engine.Engine, seed int64) (*core.RuleSet, error) {
+	base := core.Default(d)
+	base.Horizon = horizon
+	base.PopSize = 40
+	base.Generations = 2500
+	base.Seed = seed
+	eng.Configure(&base)
+	res, err := core.MultiRun(core.MultiRunConfig{
+		Base:           base,
+		CoverageTarget: 0.95,
+		MaxExecutions:  2,
+	}, eng.Data())
+	if err != nil {
+		return nil, err
+	}
+	return res.RuleSet, nil
+}
+
+func main() {
+	s, err := series.MackeyGlass(series.DefaultMackeyGlass(total))
+	if err != nil {
+		log.Fatal(err)
+	}
+	values := s.Values
+
+	ds, err := series.Window(series.New("mg/prefix", values[:prefix]), d, horizon)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng := engine.New(ds, engine.Options{Shards: 4})
+	fmt.Printf("prefix: %d samples → %d patterns across %d shards %v\n",
+		prefix, eng.Len(), eng.P(), eng.ShardSizes())
+
+	rs, err := train(eng, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for grown, round := prefix, 1; grown < total; round++ {
+		next := grown + chunk
+		if next > total {
+			next = total
+		}
+		inputs, targets := tailPatterns(values[:next], grown)
+
+		// Forecast the incoming chunk before training ever sees it.
+		test := &series.Dataset{Inputs: inputs, Targets: targets, D: d, Horizon: horizon}
+		pred, mask := rs.PredictDataset(test)
+		rmse, cov, err := metrics.MaskedRMSE(pred, targets, mask)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("round %d: forecast %3d new patterns  rmse=%.4f  coverage=%4.1f%%\n",
+			round, len(inputs), rmse, 100*cov)
+
+		// Stream the chunk in: one shard absorbs it and is rebuilt;
+		// the other indexes are untouched, and the shared cache's
+		// epoch-keyed entries expire.
+		sizesBefore := eng.ShardSizes()
+		if err := eng.Append(inputs, targets); err != nil {
+			log.Fatal(err)
+		}
+		sizesAfter := eng.ShardSizes()
+		routed := -1
+		for i := range sizesAfter {
+			if sizesAfter[i] != sizesBefore[i] {
+				routed = i
+			}
+		}
+		fmt.Printf("round %d: appended → %d patterns, shard %d rebuilt %v→%v, epoch %d\n",
+			round, eng.Len(), routed, sizesBefore, sizesAfter, eng.Epoch())
+
+		// Retrain on the grown data through the same engine.
+		if rs, err = train(eng, int64(round+1)); err != nil {
+			log.Fatal(err)
+		}
+		grown = next
+	}
+
+	hits, misses := eng.Cache().Stats()
+	fmt.Printf("done: %d rules over %d patterns; shared cache %d hits / %d misses\n",
+		rs.Len(), eng.Len(), hits, misses)
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"repro/internal/linalg"
+	"repro/internal/series"
+)
+
+// Backend is a pluggable match backend: something other than the
+// evaluator's own single MatchIndex that can answer "which training
+// patterns does this rule match". The sharded, batched evaluation
+// engine in internal/engine implements it; core stays the single
+// owner of the regression and fitness math, so any backend that
+// returns exact matched sets yields bit-identical evaluations.
+//
+// Implementations must be safe for concurrent use: one backend is
+// shared by every Evaluator of a multi-run wave or island ring.
+type Backend interface {
+	// Data returns the training dataset the backend answers for. An
+	// evaluator only adopts a backend whose Data is the very dataset
+	// it scores against (pointer identity, mirroring ensureIndex).
+	Data() *series.Dataset
+
+	// Epoch returns the backend's data epoch. It increments whenever
+	// the underlying dataset changes (streaming appends), and is mixed
+	// into every evaluation-cache key so results computed against an
+	// older snapshot can never be served afterwards.
+	Epoch() uint64
+
+	// MatchIndices returns the rule's matched training-pattern
+	// indices — the paper's C_R(S) — in ascending order, exactly as
+	// the sequential single-index path would.
+	MatchIndices(r *Rule) []int
+
+	// MatchBatch answers one whole generation of rules in a single
+	// scheduling pass; out[i] corresponds to rules[i] and each entry
+	// equals MatchIndices(rules[i]).
+	MatchBatch(rules []*Rule) [][]int
+}
+
+// EvalCache is the pluggable evaluation-result cache. The default is
+// one private cache per Evaluator (see evalCache); internal/engine
+// provides a SharedCache that serves multi-run waves, islands and the
+// Pittsburgh baseline from one synchronized store. Keys are opaque
+// byte-exact signatures built by the evaluator (data epoch, evaluator
+// parameters, conditional part), so implementations need no domain
+// knowledge — and a stale entry can never collide with a fresh key.
+type EvalCache interface {
+	// Get returns the memoized result for the key, or nil.
+	Get(key string) *EvalResult
+	// Put memoizes a result. Implementations may evict arbitrarily;
+	// entries are pure functions of their key, so eviction (or
+	// cross-goroutine sharing) never changes evaluation results.
+	Put(key string, res *EvalResult)
+	// Stats returns cumulative hit/miss counters.
+	Stats() (hits, misses int)
+}
+
+// EvalResult is one memoized rule evaluation. Fit is stored as a
+// private clone; apply hands out fresh clones so no two rules ever
+// share consequent storage.
+type EvalResult struct {
+	Fit        *linalg.LinearFit
+	Prediction float64
+	Error      float64
+	Matches    int
+	Fitness    float64
+}
+
+// apply copies the cached result onto the rule, mirroring
+// Evaluator.Evaluate exactly: a zero-match rule keeps its prior
+// Prediction (initialization sets bin centers used by crowding).
+func (c *EvalResult) apply(r *Rule) {
+	r.Matches = c.Matches
+	r.Error = c.Error
+	r.Fitness = c.Fitness
+	if c.Fit == nil {
+		r.Fit = nil
+		return
+	}
+	r.Fit = c.Fit.Clone()
+	r.Prediction = c.Prediction
+}
+
+// resultOf snapshots a just-evaluated rule into a cacheable result.
+func resultOf(r *Rule) *EvalResult {
+	c := &EvalResult{
+		Prediction: r.Prediction,
+		Error:      r.Error,
+		Matches:    r.Matches,
+		Fitness:    r.Fitness,
+	}
+	if r.Fit != nil {
+		c.Fit = r.Fit.Clone()
+	}
+	return c
+}

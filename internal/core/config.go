@@ -45,6 +45,23 @@ type Config struct {
 	// execution build its own. Purely a speed knob: results are
 	// identical either way.
 	Index *MatchIndex
+
+	// Backend optionally routes every match query through an external
+	// evaluation backend — the sharded, batched engine in
+	// internal/engine — instead of the execution's own single index.
+	// Ignored unless it was built over this execution's dataset.
+	// Purely a speed knob: any backend returns exact matched sets, so
+	// results are bit-identical to the sequential path.
+	Backend Backend
+
+	// Cache optionally shares one evaluation-result cache across
+	// executions (multi-run waves, islands, the Pittsburgh baseline).
+	// Nil gives each evaluator its own private cache. Keys embed the
+	// data epoch and evaluator parameters, so sharing never changes
+	// results. Adopted only together with Backend (see
+	// EvalOptions.Cache): without the backend's dataset identity and
+	// epoch, a shared store could leak results across datasets.
+	Cache EvalCache
 }
 
 // DistanceKind selects the phenotypic distance used by crowding

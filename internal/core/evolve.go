@@ -57,7 +57,8 @@ func NewExecution(cfg Config, data *series.Dataset) (*Execution, error) {
 
 	ex := &Execution{
 		Config:   cfg,
-		Eval:     NewEvaluatorWith(data, emax, cfg.FMin, cfg.Ridge, cfg.Workers, cfg.Index),
+		Eval: NewEvaluatorOpt(data, emax, cfg.FMin, cfg.Ridge, cfg.Workers,
+			EvalOptions{Index: cfg.Index, Backend: cfg.Backend, Cache: cfg.Cache}),
 		src:      rng.New(cfg.Seed),
 		predSpan: hi - lo,
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"encoding/binary"
 	"math"
 
 	"repro/internal/linalg"
@@ -13,14 +14,46 @@ import (
 // it is safe for concurrent use by multiple goroutines: the dataset
 // and match index are read-only after construction and the evaluation
 // cache is internally synchronized.
+//
+// Matching goes through one of two interchangeable paths: the
+// evaluator's own MatchIndex (the sequential single-index path), or a
+// pluggable Backend such as the sharded engine in internal/engine.
+// Both return exact matched sets, and all regression/fitness math
+// lives here, so the paths are bit-identical by construction.
 type Evaluator struct {
 	data    *series.Dataset
 	emax    float64
 	fmin    float64
 	ridge   float64
 	workers int
-	idx     *MatchIndex
-	cache   *evalCache
+	idx     *MatchIndex // nil when backend is set
+	backend Backend
+	cache   EvalCache
+}
+
+// EvalOptions carries the optional shared machinery an Evaluator can
+// be built around. All fields may be nil; the zero value reproduces a
+// self-contained evaluator with its own index and private cache.
+type EvalOptions struct {
+	// Index reuses a prebuilt MatchIndex so callers evaluating the
+	// same dataset many times (multi-run, islands, the Pittsburgh
+	// baseline) pay index construction once. Ignored (a fresh index is
+	// built) when nil or built over a different dataset.
+	Index *MatchIndex
+	// Backend routes all match queries through an external engine
+	// (see internal/engine). Ignored unless Backend.Data() is the
+	// evaluator's dataset — the same sharing predicate as Index. When
+	// adopted, no private MatchIndex is built at all.
+	Backend Backend
+	// Cache replaces the evaluator-private result cache with a shared
+	// one. Cache keys embed the data epoch and evaluator parameters,
+	// so evaluators with different EMAX/f_min/ridge can safely share
+	// one store. Ignored unless Backend is adopted: keys carry no
+	// dataset identity of their own — it is the backend (same-data by
+	// the sharing predicate, epoch-stamped against appends) that
+	// scopes them, so a cache without its backend could leak results
+	// across datasets or data epochs.
+	Cache EvalCache
 }
 
 // NewEvaluator builds an evaluator over the training dataset,
@@ -29,25 +62,38 @@ type Evaluator struct {
 // regression; workers bounds the parallel fallback scan
 // (0 = GOMAXPROCS).
 func NewEvaluator(data *series.Dataset, emax, fmin, ridge float64, workers int) *Evaluator {
-	return NewEvaluatorWith(data, emax, fmin, ridge, workers, nil)
+	return NewEvaluatorOpt(data, emax, fmin, ridge, workers, EvalOptions{})
 }
 
-// NewEvaluatorWith is NewEvaluator reusing a prebuilt MatchIndex so
-// callers evaluating against the same dataset many times (multi-run,
-// islands, the Pittsburgh baseline) pay the index construction once.
-// A nil idx — or one built over a different dataset — triggers a
-// fresh build.
+// NewEvaluatorWith is NewEvaluator reusing a prebuilt MatchIndex; see
+// EvalOptions.Index.
 func NewEvaluatorWith(data *series.Dataset, emax, fmin, ridge float64, workers int, idx *MatchIndex) *Evaluator {
-	idx = ensureIndex(idx, data)
-	return &Evaluator{
+	return NewEvaluatorOpt(data, emax, fmin, ridge, workers, EvalOptions{Index: idx})
+}
+
+// NewEvaluatorOpt is the general constructor: an evaluator over the
+// training dataset wired to whatever subset of shared machinery the
+// options carry.
+func NewEvaluatorOpt(data *series.Dataset, emax, fmin, ridge float64, workers int, opt EvalOptions) *Evaluator {
+	e := &Evaluator{
 		data:    data,
 		emax:    emax,
 		fmin:    fmin,
 		ridge:   ridge,
 		workers: workers,
-		idx:     idx,
-		cache:   newEvalCache(),
 	}
+	if opt.Backend != nil && opt.Backend.Data() == data {
+		e.backend = opt.Backend
+		if opt.Cache != nil {
+			e.cache = opt.Cache
+		}
+	} else {
+		e.idx = ensureIndex(opt.Index, data)
+	}
+	if e.cache == nil {
+		e.cache = newEvalCache()
+	}
+	return e
 }
 
 // EMax returns the evaluator's EMAX parameter.
@@ -57,16 +103,25 @@ func (e *Evaluator) EMax() float64 { return e.emax }
 func (e *Evaluator) Data() *series.Dataset { return e.data }
 
 // Index returns the evaluator's match index so it can be shared with
-// other evaluators over the same dataset.
+// other evaluators over the same dataset. It is nil when the
+// evaluator matches through a Backend instead.
 func (e *Evaluator) Index() *MatchIndex { return e.idx }
 
+// Backend returns the evaluator's match backend, or nil when it runs
+// on its own single index.
+func (e *Evaluator) Backend() Backend { return e.backend }
+
 // MatchIndices returns the indices of training patterns matched by
-// the rule — the paper's C_R(S) — in ascending order. Selective rules
-// are answered by the match index; unselective ones fall back to the
-// chunk-parallel scan. Both paths return identical results, so the
+// the rule — the paper's C_R(S) — in ascending order. With a backend
+// the query fans out across its shards; otherwise selective rules are
+// answered by the match index and unselective ones fall back to the
+// chunk-parallel scan. All paths return identical results, so the
 // choice (and the parallelism degree) never affects outcomes.
 func (e *Evaluator) MatchIndices(r *Rule) []int {
-	if out, ok := e.idx.lookup(r); ok {
+	if e.backend != nil {
+		return e.backend.MatchIndices(r)
+	}
+	if out, ok := e.idx.Lookup(r); ok {
 		return out
 	}
 	return e.MatchIndicesScan(r)
@@ -101,6 +156,30 @@ func (e *Evaluator) MatchIndicesScan(r *Rule) []int {
 		func(a, b []int) []int { return append(a, b...) })
 }
 
+// evalKey builds the cache key for a conditional part: the backend's
+// data epoch (0 without a backend — the dataset is then immutable),
+// the IEEE-754 bits of the evaluator parameters the result depends
+// on, and the byte-exact gene signature. Epoch-prefixing means a
+// result computed before a streaming append can never be served
+// afterwards — the key itself has expired.
+func (e *Evaluator) evalKey(cond []Interval) string {
+	var epoch uint64
+	if e.backend != nil {
+		epoch = e.backend.Epoch()
+	}
+	b := make([]byte, 0, 32+len(cond)*17)
+	var u [8]byte
+	binary.LittleEndian.PutUint64(u[:], epoch)
+	b = append(b, u[:]...)
+	binary.LittleEndian.PutUint64(u[:], math.Float64bits(e.emax))
+	b = append(b, u[:]...)
+	binary.LittleEndian.PutUint64(u[:], math.Float64bits(e.fmin))
+	b = append(b, u[:]...)
+	binary.LittleEndian.PutUint64(u[:], math.Float64bits(e.ridge))
+	b = append(b, u[:]...)
+	return string(appendCondKey(b, cond))
+}
+
 // Evaluate fits the rule's consequent on its matched training points
 // and assigns Prediction, Error, Matches and Fitness in place,
 // implementing §3.1's procedure and fitness function:
@@ -110,32 +189,30 @@ func (e *Evaluator) MatchIndicesScan(r *Rule) []int {
 // Rules matching zero or one point keep (or are assigned) a degenerate
 // consequent and the fitness floor.
 //
-// Results are memoized by conditional-part signature: an offspring
-// whose genes survived mutation/crossover unchanged reuses the prior
-// match scan and regression bit-for-bit instead of recomputing them.
+// Results are memoized by signature: an offspring whose genes survived
+// mutation/crossover unchanged reuses the prior match scan and
+// regression bit-for-bit instead of recomputing them.
 func (e *Evaluator) Evaluate(r *Rule) {
-	key := condKey(r.Cond)
-	if c := e.cache.get(key); c != nil {
+	key := e.evalKey(r.Cond)
+	if c := e.cache.Get(key); c != nil {
 		c.apply(r)
 		return
 	}
 	e.evaluateUncached(r)
-	c := &cachedEval{
-		prediction: r.Prediction,
-		err:        r.Error,
-		matches:    r.Matches,
-		fitness:    r.Fitness,
-	}
-	if r.Fit != nil {
-		c.fit = r.Fit.Clone()
-	}
-	e.cache.put(key, c)
+	e.cache.Put(key, resultOf(r))
 }
 
-// evaluateUncached is the full evaluation: match scan, regression,
+// evaluateUncached is the full evaluation: match query, regression,
 // fitness gate.
 func (e *Evaluator) evaluateUncached(r *Rule) {
-	idx := e.MatchIndices(r)
+	e.evalFromMatches(r, e.MatchIndices(r))
+}
+
+// evalFromMatches is the post-match half of an evaluation: given the
+// rule's matched training indices, fit the consequent and assign the
+// paper's fitness. Both the per-rule and the batched path end here,
+// which is what keeps them bit-identical.
+func (e *Evaluator) evalFromMatches(r *Rule, idx []int) {
 	r.Matches = len(idx)
 	if len(idx) == 0 {
 		// No evidence at all: no consequent, floor fitness. Prediction
@@ -193,16 +270,77 @@ func (e *Evaluator) evaluateUncached(r *Rule) {
 }
 
 // CacheStats returns the evaluation cache's hit and miss counts (a
-// diagnostics hook for tests, benches and progress reporting).
-func (e *Evaluator) CacheStats() (hits, misses int) { return e.cache.stats() }
+// diagnostics hook for tests, benches and progress reporting). With a
+// shared cache the counts aggregate every participating evaluator.
+func (e *Evaluator) CacheStats() (hits, misses int) { return e.cache.Stats() }
 
-// EvaluateAll evaluates every rule, parallelizing across rules (the
-// per-rule work then runs serially, avoiding nested parallelism). The
-// workers share the match index and evaluation cache; cached results
-// are bit-identical to recomputation, so scheduling cannot change
-// outcomes.
+// EvaluateAll evaluates every rule. With a backend the whole slice is
+// served by one batched scheduling pass (EvaluateBatch); otherwise it
+// parallelizes across rules (the per-rule work then runs serially,
+// avoiding nested parallelism). The workers share the match machinery
+// and evaluation cache; cached results are bit-identical to
+// recomputation, so scheduling cannot change outcomes.
 func (e *Evaluator) EvaluateAll(rules []*Rule) {
+	if e.backend != nil && len(rules) > 1 {
+		e.EvaluateBatch(rules)
+		return
+	}
 	serial := *e
 	serial.workers = 1
 	parallel.For(len(rules), e.workers, func(i int) { serial.Evaluate(rules[i]) })
+}
+
+// EvaluateBatch evaluates a whole generation of rules through the
+// backend in one scheduling pass: signatures are deduplicated first
+// (offspring that collapsed to the same conditional part are computed
+// once), cache hits are peeled off, and the surviving unique rules go
+// to Backend.MatchBatch, which walks each shard index once per
+// selectivity group instead of dispatching rule by rule. Consequent
+// regressions then run in parallel across rules. Results are
+// bit-identical to calling Evaluate on each rule in order.
+func (e *Evaluator) EvaluateBatch(rules []*Rule) {
+	if e.backend == nil {
+		// No batching substrate: preserve the semantics anyway.
+		for _, r := range rules {
+			e.Evaluate(r)
+		}
+		return
+	}
+	keys := make([]string, len(rules))
+	for i, r := range rules {
+		keys[i] = e.evalKey(r.Cond)
+	}
+	results := make(map[string]*EvalResult, len(rules))
+	var work []*Rule
+	var workKeys []string
+	for i, r := range rules {
+		k := keys[i]
+		if _, dup := results[k]; dup {
+			continue
+		}
+		if c := e.cache.Get(k); c != nil {
+			results[k] = c
+			continue
+		}
+		results[k] = nil // claim the slot; filled below
+		work = append(work, r)
+		workKeys = append(workKeys, k)
+	}
+	if len(work) > 0 {
+		matched := e.backend.MatchBatch(work)
+		fresh := make([]*EvalResult, len(work))
+		serial := *e
+		serial.workers = 1
+		parallel.For(len(work), e.workers, func(i int) {
+			serial.evalFromMatches(work[i], matched[i])
+			fresh[i] = resultOf(work[i])
+		})
+		for i, k := range workKeys {
+			e.cache.Put(k, fresh[i])
+			results[k] = fresh[i]
+		}
+	}
+	for i, r := range rules {
+		results[keys[i]].apply(r)
+	}
 }

@@ -63,8 +63,11 @@ func RunIslands(cfg IslandConfig, data *series.Dataset) (*IslandResult, error) {
 	seeds := rng.New(cfg.Base.Seed).SplitN(cfg.Islands)
 	islands := make([]*Execution, cfg.Islands)
 	// All islands evolve against the same dataset; share one match
-	// index instead of building Islands copies.
-	cfg.Base.Index = ensureIndex(cfg.Base.Index, data)
+	// backend (the sharded engine when configured, a single match
+	// index otherwise) instead of building Islands copies.
+	if cfg.Base.Backend == nil {
+		cfg.Base.Index = ensureIndex(cfg.Base.Index, data)
+	}
 	for i := range islands {
 		c := cfg.Base
 		c.Seed = seeds[i].Seed()

@@ -8,7 +8,6 @@ import (
 	"sync"
 	"sync/atomic"
 
-	"repro/internal/linalg"
 	"repro/internal/series"
 )
 
@@ -24,7 +23,9 @@ import (
 //
 // The index is immutable after construction and therefore safe for
 // concurrent use; it can be shared across every Evaluator, Execution,
-// island and experiment run over the same dataset.
+// island and experiment run over the same dataset. The sharded
+// evaluation engine (internal/engine) builds one MatchIndex per shard
+// and drives it through the exported GeneRange/CollectWithin pair.
 type MatchIndex struct {
 	data *series.Dataset
 	vals [][]float64 // vals[j][k]: k-th smallest value of lag j
@@ -75,6 +76,11 @@ func NewMatchIndex(data *series.Dataset) *MatchIndex {
 // Data returns the dataset the index was built over.
 func (ix *MatchIndex) Data() *series.Dataset { return ix.data }
 
+// Degenerate reports whether the indexed data contains NaN, in which
+// case range queries are unanswerable and every lookup defers to the
+// scan path.
+func (ix *MatchIndex) Degenerate() bool { return ix.degenerate }
+
 // ensureIndex returns idx when it was built over data, otherwise a
 // fresh index — the single sharing predicate behind every wiring
 // site (evaluators, multi-run waves, islands).
@@ -85,10 +91,75 @@ func ensureIndex(idx *MatchIndex, data *series.Dataset) *MatchIndex {
 	return idx
 }
 
-// lookup returns the rule's matched pattern indices in ascending
+// GeneRange returns the candidate run [lo,hi) in the lag-j sorted
+// order holding every pattern whose lag-j value satisfies the gene.
+// ok=false means the index cannot answer range queries — the data is
+// NaN-degenerate or the gene has a NaN bound (a NaN bound is
+// unconstraining in Rule.Match but poisons the binary searches) —
+// and the caller must fall back to scanning. The gene must not be a
+// wildcard. Exported for the sharded engine's scheduling pass, which
+// sums ranges across shards to find a batch's most selective lag.
+func (ix *MatchIndex) GeneRange(j int, iv Interval) (lo, hi int, ok bool) {
+	if ix.degenerate || math.IsNaN(iv.Lo) || math.IsNaN(iv.Hi) {
+		return 0, 0, false
+	}
+	vals := ix.vals[j]
+	lo = sort.SearchFloat64s(vals, iv.Lo)
+	hi = sort.Search(len(vals), func(k int) bool { return vals[k] > iv.Hi })
+	if hi < lo {
+		// Inverted gene (Lo > Hi, e.g. loaded from JSON without
+		// normalization): Contains is false everywhere, matching
+		// the scan's empty result.
+		hi = lo
+	}
+	return lo, hi, true
+}
+
+// CollectWithin verifies the candidates perm[j][lo:hi] against the
+// full rule and returns the matching pattern indices in ascending
+// order (nil when none match). Candidates arrive in value order, but
+// callers (and the naive scan this must stay interchangeable with)
+// expect ascending index order: hits are collected in a bitmap whose
+// word sweep restores that order in O(k + n/64) — far cheaper than
+// sorting. Exported for the sharded engine, which walks one shard
+// index per rule group with a precomputed range.
+func (ix *MatchIndex) CollectWithin(j, lo, hi int, r *Rule) []int {
+	n := len(ix.data.Targets)
+	words := make([]uint64, (n+63)>>6)
+	hits := 0
+	for _, pi := range ix.perm[j][lo:hi] {
+		if r.Match(ix.data.Inputs[pi]) {
+			words[pi>>6] |= 1 << (uint(pi) & 63)
+			hits++
+		}
+	}
+	if hits == 0 {
+		return nil
+	}
+	return AppendSetBits(make([]int, 0, hits), words)
+}
+
+// AppendSetBits appends the position of every set bit in words to out
+// in ascending order — the bitmap→ordered-indices sweep shared by
+// CollectWithin and the sharded engine's result merge. O(k + n/64)
+// for k set bits over an n-bit bitmap.
+func AppendSetBits(out []int, words []uint64) []int {
+	for w, word := range words {
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			out = append(out, w<<6+b)
+			word &^= 1 << b
+		}
+	}
+	return out
+}
+
+// Lookup returns the rule's matched pattern indices in ascending
 // order. ok=false means no gene is selective enough for the index to
-// beat a linear scan; the caller should fall back to scanning.
-func (ix *MatchIndex) lookup(r *Rule) (out []int, ok bool) {
+// beat a linear scan (or the data/bounds are NaN-degenerate); the
+// caller should fall back to scanning. Both paths return identical
+// results, so the choice never affects outcomes.
+func (ix *MatchIndex) Lookup(r *Rule) (out []int, ok bool) {
 	if ix.degenerate {
 		return nil, false
 	}
@@ -99,20 +170,9 @@ func (ix *MatchIndex) lookup(r *Rule) (out []int, ok bool) {
 		if iv.Wildcard {
 			continue
 		}
-		if math.IsNaN(iv.Lo) || math.IsNaN(iv.Hi) {
-			// A NaN bound is unconstraining in Rule.Match (every
-			// comparison is false) but poisons the binary searches —
-			// defer to the scan, which owns the NaN semantics.
+		lo, hi, rangeOK := ix.GeneRange(j, iv)
+		if !rangeOK {
 			return nil, false
-		}
-		vals := ix.vals[j]
-		lo := sort.SearchFloat64s(vals, iv.Lo)
-		hi := sort.Search(len(vals), func(k int) bool { return vals[k] > iv.Hi })
-		if hi < lo {
-			// Inverted gene (Lo > Hi, e.g. loaded from JSON without
-			// normalization): Contains is false everywhere, matching
-			// the scan's empty result.
-			hi = lo
 		}
 		if c := hi - lo; c < bestCount {
 			bestDim, bestLo, bestHi, bestCount = j, lo, hi, c
@@ -136,40 +196,18 @@ func (ix *MatchIndex) lookup(r *Rule) (out []int, ok bool) {
 	if bestCount*2 > n {
 		return nil, false
 	}
-	// Candidates arrive in value order, but callers (and the naive
-	// scan this must stay interchangeable with) expect ascending
-	// index order. Collecting hits in a bitmap and sweeping its words
-	// restores that order in O(k + n/64) — far cheaper than sorting.
-	words := make([]uint64, (n+63)>>6)
-	hits := 0
-	for _, pi := range ix.perm[bestDim][bestLo:bestHi] {
-		if r.Match(ix.data.Inputs[pi]) {
-			words[pi>>6] |= 1 << (uint(pi) & 63)
-			hits++
-		}
-	}
-	if hits == 0 {
-		return nil, true
-	}
-	out = make([]int, 0, hits)
-	for w, word := range words {
-		for word != 0 {
-			b := bits.TrailingZeros64(word)
-			out = append(out, w<<6+b)
-			word &^= 1 << b
-		}
-	}
-	return out, true
+	return ix.CollectWithin(bestDim, bestLo, bestHi, r), true
 }
 
 // --- offspring-side evaluation cache -----------------------------------
 
-// condKey encodes a rule's conditional part as a byte-exact signature:
-// one tag byte per gene plus the IEEE-754 bits of its bounds. Two
-// rules share a key iff their matched sets and fitted consequents are
-// necessarily identical, so cached results are exact, not approximate.
-func condKey(cond []Interval) string {
-	b := make([]byte, 0, len(cond)*17)
+// appendCondKey appends a byte-exact signature of a rule's
+// conditional part: one tag byte per gene plus the IEEE-754 bits of
+// its bounds. Two rules share a signature iff their matched sets and
+// fitted consequents are necessarily identical, so cached results are
+// exact, not approximate. (The full cache key prefixes the data epoch
+// and the evaluator parameters; see Evaluator.evalKey.)
+func appendCondKey(b []byte, cond []Interval) []byte {
 	var u [8]byte
 	for _, iv := range cond {
 		if iv.Wildcard {
@@ -182,45 +220,19 @@ func condKey(cond []Interval) string {
 		binary.LittleEndian.PutUint64(u[:], math.Float64bits(iv.Hi))
 		b = append(b, u[:]...)
 	}
-	return string(b)
+	return b
 }
 
-// cachedEval is one memoized evaluation result. Fit is stored as a
-// private clone; apply hands out fresh clones so no two rules ever
-// share consequent storage.
-type cachedEval struct {
-	fit        *linalg.LinearFit
-	prediction float64
-	err        float64
-	matches    int
-	fitness    float64
-}
-
-// apply copies the cached result onto the rule, mirroring
-// Evaluator.Evaluate exactly: a zero-match rule keeps its prior
-// Prediction (initialization sets bin centers used by crowding).
-func (c *cachedEval) apply(r *Rule) {
-	r.Matches = c.matches
-	r.Error = c.err
-	r.Fitness = c.fitness
-	if c.fit == nil {
-		r.Fit = nil
-		return
-	}
-	r.Fit = c.fit.Clone()
-	r.Prediction = c.prediction
-}
-
-// evalCache memoizes evaluations by conditional-part signature so
-// offspring whose genes survived mutation/crossover unchanged reuse
-// prior match/regression work. Because evaluation is a deterministic
-// function of the signature (over a fixed dataset and evaluator
-// parameters), cache hits are bit-identical to recomputation —
+// evalCache is the default, evaluator-private EvalCache: offspring
+// whose genes survived mutation/crossover unchanged reuse prior
+// match/regression work. Because evaluation is a deterministic
+// function of the key (which encodes epoch, parameters and the
+// conditional part), cache hits are bit-identical to recomputation —
 // results never depend on hit patterns, and therefore not on
 // goroutine scheduling either.
 type evalCache struct {
 	mu     sync.RWMutex
-	m      map[string]*cachedEval
+	m      map[string]*EvalResult
 	hits   atomic.Int64
 	misses atomic.Int64
 }
@@ -231,13 +243,13 @@ type evalCache struct {
 const evalCacheLimit = 1 << 15
 
 func newEvalCache() *evalCache {
-	return &evalCache{m: make(map[string]*cachedEval)}
+	return &evalCache{m: make(map[string]*EvalResult)}
 }
 
-// get is the hot path shared by every EvaluateAll worker: a read lock
+// Get is the hot path shared by every EvaluateAll worker: a read lock
 // on the map plus atomic counters, so concurrent cache hits never
 // serialize on an exclusive lock.
-func (c *evalCache) get(key string) *cachedEval {
+func (c *evalCache) Get(key string) *EvalResult {
 	c.mu.RLock()
 	e := c.m[key]
 	c.mu.RUnlock()
@@ -249,16 +261,17 @@ func (c *evalCache) get(key string) *cachedEval {
 	return e
 }
 
-func (c *evalCache) put(key string, e *cachedEval) {
+// Put memoizes one result, dropping the whole map at the size bound.
+func (c *evalCache) Put(key string, e *EvalResult) {
 	c.mu.Lock()
 	if len(c.m) >= evalCacheLimit {
-		c.m = make(map[string]*cachedEval)
+		c.m = make(map[string]*EvalResult)
 	}
 	c.m[key] = e
 	c.mu.Unlock()
 }
 
 // Stats returns the hit/miss counters (for tests and benchmarks).
-func (c *evalCache) stats() (hits, misses int) {
+func (c *evalCache) Stats() (hits, misses int) {
 	return int(c.hits.Load()), int(c.misses.Load())
 }

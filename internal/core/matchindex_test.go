@@ -55,8 +55,8 @@ func TestMatchIndexInvertedInterval(t *testing.T) {
 	// Contains is false everywhere, so the engine must return nil —
 	// and not panic on an inverted candidate range.
 	r := NewRule([]Interval{{Lo: 0.5, Hi: -0.5}, Wild(), Wild()})
-	if got, ok := ix.lookup(r); !ok || got != nil {
-		t.Fatalf("inverted interval: lookup = %v, %v; want nil, true", got, ok)
+	if got, ok := ix.Lookup(r); !ok || got != nil {
+		t.Fatalf("inverted interval: Lookup = %v, %v; want nil, true", got, ok)
 	}
 }
 
@@ -159,8 +159,8 @@ func TestEvaluatorRejectsForeignIndex(t *testing.T) {
 func TestEvalCacheBounded(t *testing.T) {
 	c := newEvalCache()
 	for i := 0; i < evalCacheLimit+10; i++ {
-		key := condKey([]Interval{NewInterval(float64(i), float64(i)+1)})
-		c.put(key, &cachedEval{})
+		key := string(appendCondKey(nil, []Interval{NewInterval(float64(i), float64(i)+1)}))
+		c.Put(key, &EvalResult{})
 	}
 	c.mu.RLock()
 	size := len(c.m)

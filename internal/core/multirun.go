@@ -55,9 +55,14 @@ func MultiRun(cfg MultiRunConfig, data *series.Dataset) (*MultiRunResult, error)
 	}
 	seeds := rng.New(cfg.Base.Seed).SplitN(cfg.MaxExecutions)
 	res := &MultiRunResult{RuleSet: NewRuleSet(data.D)}
-	// One match index serves every execution: it is immutable, so the
-	// concurrent waves can share it freely.
-	cfg.Base.Index = ensureIndex(cfg.Base.Index, data)
+	// One match backend serves every execution. With an engine
+	// (cfg.Base.Backend) the executions share its shards and — when
+	// cfg.Base.Cache is set — its result cache; otherwise one
+	// immutable match index is built here and shared by the
+	// concurrent waves.
+	if cfg.Base.Backend == nil {
+		cfg.Base.Index = ensureIndex(cfg.Base.Index, data)
+	}
 
 	wave := parallel.Workers(cfg.Parallelism)
 	for done := 0; done < cfg.MaxExecutions; {

@@ -1,0 +1,144 @@
+package engine
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/parallel"
+)
+
+// batchPlan is the per-rule outcome of the scheduling pass: the
+// batch-global most selective lag (aggregated across shards), or the
+// two degenerate shapes that bypass the group walk.
+type batchPlan struct {
+	dim      int  // most selective lag; -1 when unusable
+	wildcard bool // all-wildcard rule: every pattern matches
+}
+
+// MatchBatch answers one whole generation of rules in a single
+// scheduling pass. Instead of per-rule dispatch it (1) computes each
+// rule's most selective lag once, by summing the per-shard candidate
+// ranges of every gene (the per-shard lookups reuse exactly these
+// ranges, so the pass costs nothing extra); (2) groups rules by that
+// lag and walks each shard index once per group — all rules of a
+// group probe the same sorted value/permutation arrays back to back,
+// which keeps those arrays hot in cache; (3) fans the groups out
+// across shards on separate goroutines and merges per-shard hits
+// through the global bitmap. out[i] corresponds to rules[i] and is
+// bit-identical to MatchIndices(rules[i]) — grouping and fan-out are
+// pure scheduling.
+func (s *Shards) MatchBatch(rules []*core.Rule) [][]int {
+	out := make([][]int, len(rules))
+	if len(rules) == 0 {
+		return out
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+
+	// Scheduling pass: aggregate per-gene selectivity across shards.
+	plans := make([]batchPlan, len(rules))
+	parallel.For(len(rules), s.workers, func(w int) {
+		plans[w] = s.plan(rules[w])
+	})
+
+	// Group rules by their most selective lag. The order is the sort
+	// key only — results are per-rule, so it cannot affect outcomes.
+	order := make([]int, 0, len(rules))
+	for w, p := range plans {
+		if !p.wildcard {
+			order = append(order, w)
+		}
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return plans[order[a]].dim < plans[order[b]].dim
+	})
+
+	// Shard-major walk: each shard serves every group in lag order.
+	locals := make([][][]int, len(s.parts))
+	parallel.For(len(s.parts), s.workers, func(si int) {
+		sh := s.parts[si]
+		mine := make([][]int, len(rules))
+		for _, w := range order {
+			mine[w] = sh.matchAlong(rules[w], plans[w].dim)
+		}
+		locals[si] = mine
+	})
+
+	// Per-rule merge of the shard results (ascending global indices).
+	n := s.data.Len()
+	parallel.For(len(rules), s.workers, func(w int) {
+		if plans[w].wildcard {
+			// All-wildcard rule: every pattern matches; no shard walk
+			// or merge needed.
+			all := make([]int, n)
+			for i := range all {
+				all[i] = i
+			}
+			out[w] = all
+			return
+		}
+		perShard := make([][]int, len(s.parts))
+		for si := range s.parts {
+			perShard[si] = locals[si][w]
+		}
+		out[w] = s.merge(perShard)
+	})
+	return out
+}
+
+// plan finds the rule's batch-global most selective lag: the
+// non-wildcard gene whose candidate ranges, summed across every
+// shard, admit the fewest patterns. A gene unanswerable in any shard
+// (NaN bound, or a shard with NaN-degenerate data) is skipped; when
+// no gene is answerable everywhere the plan's dim is -1 and each
+// shard falls back to its own two-path logic.
+func (s *Shards) plan(r *core.Rule) batchPlan {
+	bestDim := -1
+	bestCount := -1
+	hasGene := false
+	for j, iv := range r.Cond {
+		if iv.Wildcard {
+			continue
+		}
+		hasGene = true
+		total, ok := 0, true
+		for _, sh := range s.parts {
+			lo, hi, rangeOK := sh.idx.GeneRange(j, iv)
+			if !rangeOK {
+				ok = false
+				break
+			}
+			total += hi - lo
+		}
+		if !ok {
+			continue
+		}
+		if bestCount < 0 || total < bestCount {
+			bestDim, bestCount = j, total
+		}
+	}
+	return batchPlan{dim: bestDim, wildcard: !hasGene}
+}
+
+// matchAlong computes the shard-local matched set, preferring the
+// batch's group lag so consecutive rules of a group walk the same
+// per-shard sorted arrays. When the group lag is unanswerable or not
+// selective enough in this particular shard (aggregate selectivity is
+// a global property; one shard's slice of it can still be wide), the
+// shard falls back to its own per-rule choice — every path returns
+// the exact shard-local matched set, so the preference is purely a
+// locality optimization.
+func (sh *shard) matchAlong(r *core.Rule, dim int) []int {
+	if dim >= 0 {
+		ns := sh.data.Len()
+		if lo, hi, ok := sh.idx.GeneRange(dim, r.Cond[dim]); ok {
+			if hi == lo {
+				return nil
+			}
+			if (hi-lo)*2 <= ns {
+				return sh.idx.CollectWithin(dim, lo, hi, r)
+			}
+		}
+	}
+	return sh.match(r)
+}

@@ -1,0 +1,132 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// SharedCache is a concurrency-safe evaluation-result cache shared
+// across evaluators: multi-run waves, island rings, the Pittsburgh
+// baseline and repeated executions over the same engine all hit one
+// store, so a conditional part evaluated by any of them is never
+// recomputed by another. It implements core.EvalCache.
+//
+// The cache is generation-aware twice over. For capacity, it keeps
+// two generations of entries (hot and previous): inserts go to the
+// hot generation, lookups that hit the previous generation promote
+// the entry, and when the hot generation reaches capacity it becomes
+// the previous one — entries that stopped being reached age out
+// wholesale, with no per-entry bookkeeping on the hot path. For
+// staleness, keys are built by the evaluator with the engine's data
+// epoch as prefix, so results computed before a streaming append can
+// never be served afterwards even if still resident; Invalidate
+// additionally drops both generations so expired entries release
+// their memory immediately (Engine.Append calls it).
+//
+// Sharing never changes results: entries are pure functions of their
+// keys, so a hit is bit-identical to recomputation regardless of
+// which evaluator produced it.
+type SharedCache struct {
+	mu     sync.RWMutex
+	hot    map[string]*core.EvalResult
+	prev   map[string]*core.EvalResult
+	cap    int
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// DefaultCacheCapacity bounds each generation of the shared cache.
+// Two generations of this size keep week-long multi-run workloads at
+// a flat memory ceiling while comfortably holding several populations
+// worth of live signatures.
+const DefaultCacheCapacity = 1 << 16
+
+// NewSharedCache returns a shared cache whose generations hold up to
+// capacity entries each (<=0 → DefaultCacheCapacity).
+func NewSharedCache(capacity int) *SharedCache {
+	if capacity <= 0 {
+		capacity = DefaultCacheCapacity
+	}
+	return &SharedCache{
+		hot:  make(map[string]*core.EvalResult),
+		prev: make(map[string]*core.EvalResult),
+		cap:  capacity,
+	}
+}
+
+// Get returns the memoized result for the key, or nil. Hot-generation
+// hits take only a read lock; previous-generation hits promote the
+// entry so it survives the next rotation.
+func (c *SharedCache) Get(key string) *core.EvalResult {
+	c.mu.RLock()
+	e := c.hot[key]
+	fromPrev := false
+	if e == nil {
+		e = c.prev[key]
+		fromPrev = e != nil
+	}
+	c.mu.RUnlock()
+	if e == nil {
+		c.misses.Add(1)
+		return nil
+	}
+	if fromPrev {
+		// Promote: still-reached entries migrate forward instead of
+		// aging out with their generation.
+		c.mu.Lock()
+		c.rotateIfFull()
+		c.hot[key] = e
+		c.mu.Unlock()
+	}
+	c.hits.Add(1)
+	return e
+}
+
+// Put memoizes one result in the hot generation, rotating generations
+// when it is full.
+func (c *SharedCache) Put(key string, res *core.EvalResult) {
+	c.mu.Lock()
+	c.rotateIfFull()
+	c.hot[key] = res
+	c.mu.Unlock()
+}
+
+// rotateIfFull retires the previous generation and starts a fresh hot
+// one when the hot generation is at capacity. Callers hold mu.
+func (c *SharedCache) rotateIfFull() {
+	if len(c.hot) >= c.cap {
+		c.prev = c.hot
+		c.hot = make(map[string]*core.EvalResult)
+	}
+}
+
+// Invalidate drops both generations. Epoch-prefixed keys already
+// guarantee stale entries are unreachable after an append; dropping
+// them frees the memory too. Counters are preserved.
+func (c *SharedCache) Invalidate() {
+	c.mu.Lock()
+	c.hot = make(map[string]*core.EvalResult)
+	c.prev = make(map[string]*core.EvalResult)
+	c.mu.Unlock()
+}
+
+// Len returns the number of resident entries across both generations
+// (entries present in both are counted once).
+func (c *SharedCache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	n := len(c.hot)
+	for k := range c.prev {
+		if _, dup := c.hot[k]; !dup {
+			n++
+		}
+	}
+	return n
+}
+
+// Stats returns cumulative hit/miss counters.
+func (c *SharedCache) Stats() (hits, misses int) {
+	return int(c.hits.Load()), int(c.misses.Load())
+}

@@ -1,0 +1,71 @@
+package engine
+
+import (
+	"repro/internal/core"
+	"repro/internal/series"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// Shards is the number of dataset partitions (0 = GOMAXPROCS,
+	// clamped to the dataset size). 1 degenerates to the sequential
+	// single-index layout — still exact, just without fan-out.
+	Shards int
+	// Workers bounds the goroutines used to fan queries out across
+	// shards and rules (0 = GOMAXPROCS).
+	Workers int
+	// CacheCapacity bounds each generation of the shared result cache
+	// (0 = DefaultCacheCapacity).
+	CacheCapacity int
+}
+
+// Engine is the sharded, batched evaluation backend plus its shared
+// result cache. It implements core.Backend; Configure wires both into
+// a core.Config in one call. One Engine serves every consumer over
+// its dataset — evaluators, multi-run waves, islands, the Pittsburgh
+// baseline — concurrently.
+type Engine struct {
+	*Shards
+	cache *SharedCache
+}
+
+// New builds an engine over the training dataset: the dataset is
+// partitioned into opt.Shards shards with one MatchIndex each, and a
+// fresh shared cache is attached. The engine owns the dataset's
+// growth from here on: streaming appends must go through
+// Engine.Append.
+func New(data *series.Dataset, opt Options) *Engine {
+	return &Engine{
+		Shards: NewShards(data, opt.Shards, opt.Workers),
+		cache:  NewSharedCache(opt.CacheCapacity),
+	}
+}
+
+// Cache returns the engine's shared result cache.
+func (e *Engine) Cache() *SharedCache { return e.cache }
+
+// Configure wires the engine into a core.Config: match queries go
+// through the shards (Backend), results are memoized in the shared
+// cache (Cache), and any single-index override is cleared. Purely a
+// speed knob — results are bit-identical to the sequential path.
+func (e *Engine) Configure(cfg *core.Config) {
+	cfg.Backend = e
+	cfg.Cache = e.cache
+	cfg.Index = nil
+}
+
+// Append adds streaming patterns: the shard layer routes them to the
+// smallest shard and rebuilds only that shard's index, and the shared
+// cache is invalidated — its epoch-prefixed keys have already expired
+// every pre-append result, so this only releases their memory. Like
+// Shards.Append, it must not run concurrently with evaluation.
+func (e *Engine) Append(inputs [][]float64, targets []float64) error {
+	if err := e.Shards.Append(inputs, targets); err != nil {
+		return err
+	}
+	e.cache.Invalidate()
+	return nil
+}
+
+// Engine must satisfy core.Backend.
+var _ core.Backend = (*Engine)(nil)

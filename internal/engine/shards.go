@@ -1,0 +1,248 @@
+// Package engine is the sharded, batched evaluation backend of the
+// rule system. It partitions the training dataset across P shards,
+// each with its own core.MatchIndex, so match queries fan out across
+// goroutines and merge ordered results; serves whole generations of
+// offspring through one scheduling pass (MatchBatch); shares a
+// generation-aware result cache across evaluators, multi-run waves,
+// islands and the Pittsburgh baseline; and maintains its per-shard
+// indexes incrementally under append-only streaming data instead of
+// rebuilding from scratch.
+//
+// The engine implements core.Backend. It accelerates only the match
+// side — all regression and fitness math stays in core — so every
+// configuration (any shard count, any parallelism, cache on or off)
+// is bit-identical to the sequential single-index path.
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/parallel"
+	"repro/internal/series"
+)
+
+// Shards is the training dataset partitioned across P shards, each
+// carrying its own slice of patterns and its own MatchIndex. The
+// initial build partitions contiguously; streaming appends route new
+// patterns to the smallest shard (rebuilding only that shard's
+// index), so after appends a shard owns an ascending but not
+// necessarily contiguous set of global pattern indices. Queries merge
+// per-shard results through a bitmap over global indices, which
+// restores ascending order regardless of layout.
+//
+// Match queries are safe for concurrent use with each other; Append
+// excludes queries on the engine's own structures via the RWMutex,
+// but mutates the shared dataset in place — callers must not run
+// Append concurrently with code reading the dataset outside the
+// engine (streaming loops alternate evolve and append phases).
+type Shards struct {
+	mu      sync.RWMutex
+	data    *series.Dataset // the full dataset view; grows on Append
+	parts   []*shard
+	workers int
+	epoch   atomic.Uint64
+}
+
+// shard is one partition: a shard-local dataset whose rows alias the
+// full dataset's rows (read-only), the ascending global index of each
+// local pattern, and the shard's own match index.
+type shard struct {
+	global []int32         // global[i]: full-dataset index of local pattern i
+	data   *series.Dataset // local view; Inputs/Targets own their headers
+	idx    *core.MatchIndex
+}
+
+// NewShards partitions the dataset into p shards (p<=0 → GOMAXPROCS,
+// clamped to the dataset size so no shard is empty) and builds one
+// MatchIndex per shard. workers bounds the fan-out goroutines for
+// queries (0 = GOMAXPROCS). The engine takes ownership of the
+// dataset's growth: all appends must go through Append.
+func NewShards(data *series.Dataset, p, workers int) *Shards {
+	n := data.Len()
+	if p <= 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if p > n {
+		p = n
+	}
+	if p < 1 {
+		p = 1
+	}
+	s := &Shards{data: data, workers: workers}
+	s.parts = make([]*shard, p)
+	// Contiguous blocks, remainder spread over the first shards: the
+	// same layout a from-scratch rebuild would produce.
+	base, rem := n/p, n%p
+	parallel.For(p, workers, func(i int) {
+		size := base
+		if i < rem {
+			size++
+		}
+		start := i*base + min(i, rem)
+		sh := &shard{
+			global: make([]int32, size),
+			data: &series.Dataset{
+				Inputs:  make([][]float64, size),
+				Targets: make([]float64, size),
+				D:       data.D,
+				Horizon: data.Horizon,
+			},
+		}
+		for k := 0; k < size; k++ {
+			g := start + k
+			sh.global[k] = int32(g)
+			sh.data.Inputs[k] = data.Inputs[g]
+			sh.data.Targets[k] = data.Targets[g]
+		}
+		sh.idx = core.NewMatchIndex(sh.data)
+		s.parts[i] = sh
+	})
+	return s
+}
+
+// P returns the number of shards.
+func (s *Shards) P() int { return len(s.parts) }
+
+// Len returns the current number of training patterns.
+func (s *Shards) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.data.Len()
+}
+
+// Data returns the full training dataset the shards partition. It is
+// the pointer the engine was built over; Append grows it in place, so
+// evaluators keyed on it stay wired after streaming appends.
+func (s *Shards) Data() *series.Dataset { return s.data }
+
+// Epoch returns the data epoch: the number of Appends performed.
+// Evaluation-cache keys embed it, expiring every result computed
+// against an older snapshot.
+func (s *Shards) Epoch() uint64 { return s.epoch.Load() }
+
+// ShardSizes returns the current pattern count of every shard (a
+// diagnostics hook for tests and the streaming example).
+func (s *Shards) ShardSizes() []int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	sizes := make([]int, len(s.parts))
+	for i, sh := range s.parts {
+		sizes[i] = sh.data.Len()
+	}
+	return sizes
+}
+
+// Append adds streaming patterns to the dataset and maintains the
+// shard indexes incrementally: all new patterns are routed to the
+// currently smallest shard (lowest index on ties, so the layout is
+// deterministic) and only that shard's index is rebuilt — O(n_s log
+// n_s) instead of the full O(n log n) rebuild. The global dataset
+// view grows in place. Returns an error when a pattern's width does
+// not match the dataset's D or inputs and targets disagree in length.
+func (s *Shards) Append(inputs [][]float64, targets []float64) error {
+	if len(inputs) != len(targets) {
+		return fmt.Errorf("engine: Append with %d inputs but %d targets", len(inputs), len(targets))
+	}
+	for i, row := range inputs {
+		if len(row) != s.data.D {
+			return fmt.Errorf("engine: Append pattern %d has width %d, want D=%d", i, len(row), s.data.D)
+		}
+	}
+	if len(inputs) == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	base := s.data.Len()
+	s.data.Inputs = append(s.data.Inputs, inputs...)
+	s.data.Targets = append(s.data.Targets, targets...)
+
+	// Route the whole chunk to the smallest shard: one index rebuild
+	// per Append, and sizes stay balanced across a stream of chunks.
+	sm := 0
+	for i, sh := range s.parts {
+		if sh.data.Len() < s.parts[sm].data.Len() {
+			sm = i
+		}
+	}
+	sh := s.parts[sm]
+	for k := range inputs {
+		g := base + k
+		sh.global = append(sh.global, int32(g))
+		sh.data.Inputs = append(sh.data.Inputs, s.data.Inputs[g])
+		sh.data.Targets = append(sh.data.Targets, s.data.Targets[g])
+	}
+	sh.idx = core.NewMatchIndex(sh.data)
+
+	s.epoch.Add(1)
+	return nil
+}
+
+// MatchIndices returns the rule's matched pattern indices over the
+// full dataset, ascending — exactly what the sequential single-index
+// path returns. The query fans out across shards (each answered by
+// its own index, falling back to a shard-local scan when the index
+// cannot beat one) and the per-shard hits are merged through a global
+// bitmap.
+func (s *Shards) MatchIndices(r *core.Rule) []int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	locals := make([][]int, len(s.parts))
+	parallel.For(len(s.parts), s.workers, func(i int) {
+		locals[i] = s.parts[i].match(r)
+	})
+	return s.merge(locals)
+}
+
+// match computes the shard-local matched set: index lookup when the
+// shard index can answer, linear scan otherwise. Identical to the
+// evaluator's own two-path logic, just over the shard's patterns.
+func (sh *shard) match(r *core.Rule) []int {
+	if out, ok := sh.idx.Lookup(r); ok {
+		return out
+	}
+	return sh.scan(r)
+}
+
+// scan is the shard-local reference path (the shards already provide
+// the parallelism, so it stays serial).
+func (sh *shard) scan(r *core.Rule) []int {
+	var out []int
+	for i, row := range sh.data.Inputs {
+		if r.Match(row) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// merge unions per-shard local matches into one ascending global
+// result. Shard index sets are disjoint but — after appends —
+// interleaved, so hits are collected in a bitmap over global indices
+// and swept in word order: O(k + n/64), independent of shard layout,
+// and deterministic for any parallelism. Returns nil when nothing
+// matched, staying interchangeable with the scan path.
+func (s *Shards) merge(locals [][]int) []int {
+	total := 0
+	for _, l := range locals {
+		total += len(l)
+	}
+	if total == 0 {
+		return nil
+	}
+	n := s.data.Len()
+	words := make([]uint64, (n+63)>>6)
+	for si, l := range locals {
+		g := s.parts[si].global
+		for _, li := range l {
+			gi := g[li]
+			words[gi>>6] |= 1 << (uint(gi) & 63)
+		}
+	}
+	return core.AppendSetBits(make([]int, 0, total), words)
+}

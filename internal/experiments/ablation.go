@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/metrics"
 	"repro/internal/series"
 )
@@ -63,15 +64,28 @@ func Ablations(sc Scale, seed int64) (*AblationResult, error) {
 
 	res := &AblationResult{Scale: sc}
 	// Every variant evolves against the same windowed series; one
-	// match index serves all eight MultiRun sweeps.
-	idx := core.NewMatchIndex(train)
+	// match backend serves all eight MultiRun sweeps. With the engine
+	// even the result cache is shared across variants — replacement,
+	// distance and mutation knobs never enter an evaluation, so a
+	// conditional part scored under one variant is valid for all.
+	var eng *engine.Engine
+	var idx *core.MatchIndex
+	if sc.EngineShards > 0 {
+		eng = engine.New(train, engine.Options{Shards: sc.EngineShards})
+	} else {
+		idx = core.NewMatchIndex(train)
+	}
 	for _, v := range variants {
 		base := core.Default(train.D)
 		base.Horizon = train.Horizon
 		base.PopSize = sc.PopSize
 		base.Generations = sc.Generations
 		base.Seed = seed
-		base.Index = idx
+		if eng != nil {
+			eng.Configure(&base)
+		} else {
+			base.Index = idx
+		}
 		v.mutate(&base)
 		mr, err := core.MultiRun(core.MultiRunConfig{
 			Base:           base,

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/metrics"
 	"repro/internal/pittsburgh"
 	"repro/internal/series"
@@ -314,6 +315,15 @@ func MichiganVsPittsburgh(sc Scale, seed int64) (*ApproachResult, error) {
 		return nil, err
 	}
 
+	// One engine can serve both remaining approaches: islands and
+	// Pittsburgh evaluate against the same training window, and cache
+	// keys embed the evaluator parameters, so even their result
+	// stores can be shared safely.
+	var eng *engine.Engine
+	if sc.EngineShards > 0 {
+		eng = engine.New(train, engine.Options{Shards: sc.EngineShards})
+	}
+
 	// Island model: same per-execution budget split across 4 islands.
 	base := core.Default(train.D)
 	base.Horizon = train.Horizon
@@ -321,6 +331,9 @@ func MichiganVsPittsburgh(sc Scale, seed int64) (*ApproachResult, error) {
 	base.Generations = sc.Generations
 	base.Seed = seed
 	base.EMax = defaultEMax(train)
+	if eng != nil {
+		eng.Configure(&base)
+	}
 	isl, err := core.RunIslands(core.IslandConfig{
 		Base:              base,
 		Islands:           4,
@@ -344,6 +357,10 @@ func MichiganVsPittsburgh(sc Scale, seed int64) (*ApproachResult, error) {
 	}
 	pcfg.PopSize = 20
 	pcfg.Generations = maxInt(sc.Generations*sc.PopSize/(pcfg.PopSize*pcfg.RulesPerSet*10), 5)
+	if eng != nil {
+		pcfg.Backend = eng
+		pcfg.Cache = eng.Cache()
+	}
 	pres, err := pittsburgh.Run(pcfg, train)
 	if err != nil {
 		return nil, err

@@ -7,6 +7,7 @@ import (
 	"text/tabwriter"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/linalg"
 	"repro/internal/neural"
 	"repro/internal/series"
@@ -45,10 +46,16 @@ func ruleSystemRun(train, val *series.Dataset, sc Scale, seed int64, emaxFrac fl
 	base.PopSize = sc.PopSize
 	base.Generations = sc.Generations
 	base.Seed = seed
-	// Build the match index here rather than inside MultiRun so the
-	// cost is paid exactly once per harness invocation even when the
-	// coverage loop spawns many execution waves.
-	base.Index = core.NewMatchIndex(train)
+	// Build the match machinery here rather than inside MultiRun so
+	// the cost is paid exactly once per harness invocation even when
+	// the coverage loop spawns many execution waves: the sharded
+	// engine (with its shared result cache) when the scale asks for
+	// it, one shared match index otherwise.
+	if sc.EngineShards > 0 {
+		engine.New(train, engine.Options{Shards: sc.EngineShards}).Configure(&base)
+	} else {
+		base.Index = core.NewMatchIndex(train)
+	}
 	if emaxFrac > 0 {
 		lo, hi := train.TargetRange()
 		base.EMax = emaxFrac * (hi - lo)

@@ -30,6 +30,14 @@ type Scale struct {
 
 	// Parallelism for MultiRun waves (0 = GOMAXPROCS).
 	Parallelism int
+
+	// EngineShards > 0 routes every rule evaluation through the
+	// sharded, batched engine (internal/engine) with that many
+	// dataset shards and one shared result cache per experiment;
+	// 0 keeps the sequential single-index path. Results are
+	// bit-identical either way (cmd/experiments exposes it as
+	// -shards).
+	EngineShards int
 }
 
 // Tiny is the unit-test scale: everything completes in well under a

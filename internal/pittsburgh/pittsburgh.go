@@ -29,6 +29,15 @@ type Config struct {
 	Elitism      int     // best sets copied unchanged each generation
 	CoverWeight  float64 // fitness weight of coverage vs error
 	Seed         int64
+
+	// Backend optionally routes the per-rule match queries through a
+	// shared evaluation backend (the sharded engine in
+	// internal/engine) instead of a private single index; Cache
+	// optionally shares the evaluation-result store with other
+	// consumers of the same engine. Both are speed knobs only:
+	// results are bit-identical either way.
+	Backend core.Backend
+	Cache   core.EvalCache
 }
 
 // Default returns a small but workable configuration.
@@ -96,8 +105,13 @@ func Run(cfg Config, data *series.Dataset) (*Result, error) {
 	src := rng.New(cfg.Seed)
 	// The set evaluator re-fits every rule of every individual each
 	// generation against the same dataset — exactly the workload the
-	// core's indexed match engine accelerates.
-	eval := newSetEvaluator(data, cfg.CoverWeight, core.NewMatchIndex(data))
+	// core's indexed match engine (and, when cfg.Backend is set, the
+	// sharded batch engine) accelerates.
+	opt := core.EvalOptions{Backend: cfg.Backend, Cache: cfg.Cache}
+	if cfg.Backend == nil {
+		opt.Index = core.NewMatchIndex(data)
+	}
+	eval := newSetEvaluator(data, cfg.CoverWeight, opt)
 
 	// Initial population: each individual draws its rules from the
 	// paper's stratified initializer (so sets start with full output
@@ -164,7 +178,7 @@ type setEvaluator struct {
 	lagHi       []float64
 }
 
-func newSetEvaluator(data *series.Dataset, coverWeight float64, idx *core.MatchIndex) *setEvaluator {
+func newSetEvaluator(data *series.Dataset, coverWeight float64, opt core.EvalOptions) *setEvaluator {
 	lo, hi := data.TargetRange()
 	span := hi - lo
 	if span == 0 {
@@ -188,18 +202,18 @@ func newSetEvaluator(data *series.Dataset, coverWeight float64, idx *core.MatchI
 	return &setEvaluator{
 		data:        data,
 		coverWeight: coverWeight,
-		ruleEval:    core.NewEvaluatorWith(data, math.Inf(1), 0, 1e-8, 1, idx),
+		ruleEval:    core.NewEvaluatorOpt(data, math.Inf(1), 0, 1e-8, 1, opt),
 		span:        span,
 		lagLo:       lagLo,
 		lagHi:       lagHi,
 	}
 }
 
-// refit re-fits every rule's consequent after structural changes.
+// refit re-fits every rule's consequent after structural changes —
+// one batched evaluation per individual, so a backend serves the
+// whole set in a single scheduling pass.
 func (e *setEvaluator) refit(ind *individual) {
-	for _, r := range ind.rules {
-		e.ruleEval.Evaluate(r)
-	}
+	e.ruleEval.EvaluateAll(ind.rules)
 }
 
 // fitness = coverWeight·coverage + (1-coverWeight)·(1 - RMSE/span),

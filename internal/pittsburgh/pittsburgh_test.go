@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/series"
 )
 
@@ -145,7 +146,7 @@ func TestDeterministicPerSeed(t *testing.T) {
 func TestCrossoverSetsProvenance(t *testing.T) {
 	ds := sineDataset(t, 200, 3)
 	cfg := tinyConfig(11)
-	eval := newSetEvaluator(ds, cfg.CoverWeight, nil)
+	eval := newSetEvaluator(ds, cfg.CoverWeight, core.EvalOptions{})
 	_ = eval
 	// Build two marked parents.
 	a := &individual{}
