@@ -8,6 +8,7 @@
 //	experiments -figure 1           # rule diagram
 //	experiments -figure 2           # unusual-tide trace
 //	experiments -ablations
+//	experiments -stream -rebalance  # windowed-stream lifecycle scenario
 //	experiments -all                # everything at the chosen scale
 //
 // The -full flag switches from the quick (laptop) scale to the
@@ -21,6 +22,7 @@ import (
 	"os"
 	"runtime"
 
+	"repro/internal/engine"
 	"repro/internal/experiments"
 )
 
@@ -34,13 +36,14 @@ func main() {
 		noise      = flag.Bool("noise", false, "run the noise-robustness sweep")
 		approaches = flag.Bool("approaches", false, "compare Michigan vs Pittsburgh vs islands")
 		general    = flag.Bool("generalization", false, "run the Lorenz generalization check")
+		stream     = flag.Bool("stream", false, "run the windowed-stream lifecycle scenario (sliding window + rebalancing)")
 		all        = flag.Bool("all", false, "regenerate every table and figure")
 		extras     = flag.Bool("extras", false, "also run every extension experiment with -all")
 		full       = flag.Bool("full", false, "use the paper's full-scale protocol")
 		tiny       = flag.Bool("tiny", false, "use the unit-test scale (fast smoke run)")
 		seed       = flag.Int64("seed", 42, "base RNG seed")
-		shards     = flag.Int("shards", 0, "training-set shards for the batched evaluation engine (0 = single index, -1 = one per core)")
 	)
+	ef := engine.RegisterFlags(flag.CommandLine) // -shards, -window, -rebalance
 	flag.Parse()
 
 	sc := experiments.Quick()
@@ -50,16 +53,24 @@ func main() {
 	if *tiny {
 		sc = experiments.Tiny()
 	}
-	if *shards != 0 {
+	if ef.Enabled() {
 		// Route every rule evaluation through the sharded engine;
-		// bit-identical to the single-index path at any shard count.
-		sc.EngineShards = *shards
-		if sc.EngineShards < 0 {
+		// bit-identical to the single-index path at any shard count,
+		// window or rebalancing history.
+		opt := ef.Options()
+		sc.EngineShards = opt.Shards
+		if sc.EngineShards == 0 {
 			sc.EngineShards = runtime.GOMAXPROCS(0)
 		}
+		sc.EngineRebalance = opt.Rebalance
+		sc.EngineWindow = ef.Window()
 	}
 
-	anyExtra := *tradeoff || *horizons || *noise || *approaches || *general
+	if ef.Window() > 0 && !*stream && !(*all && *extras) {
+		fmt.Fprintln(os.Stderr, "note: -window only applies to the windowed-stream scenario (-stream, or -all -extras); the selected experiments train on their full dataset")
+	}
+
+	anyExtra := *tradeoff || *horizons || *noise || *approaches || *general || *stream
 	if !*all && *table == 0 && *figure == 0 && !*ablations && !anyExtra {
 		flag.Usage()
 		os.Exit(2)
@@ -143,6 +154,13 @@ func main() {
 	}
 	if (*all && *extras) || *general {
 		res, err := experiments.Generalization(sc, *seed)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(res.Format())
+	}
+	if (*all && *extras) || *stream {
+		res, err := experiments.WindowedStream(sc, *seed)
 		if err != nil {
 			fail(err)
 		}

@@ -117,7 +117,7 @@ func cmdTrain(args []string) error {
 	coverage := fs.Float64("coverage", 0.98, "training coverage target")
 	emax := fs.Float64("emax", 0, "EMAX (0 = 10% of target range)")
 	seed := fs.Int64("seed", 1, "RNG seed")
-	shards := fs.Int("shards", 0, "training-set shards for the batched evaluation engine (0 = single index, -1 = one per core)")
+	ef := engine.RegisterFlags(fs) // -shards, -window, -rebalance
 	out := fs.String("out", "rules.json", "output rule-set path")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -139,15 +139,22 @@ func cmdTrain(args []string) error {
 	base.Generations = *gens
 	base.EMax = *emax
 	base.Seed = *seed
-	if *shards != 0 {
+	if ef.Enabled() {
 		// Sharded, batched evaluation engine with a result cache
 		// shared across the accumulated executions. Results are
-		// bit-identical to the single-index path at any shard count.
-		n := *shards
-		if n < 0 {
-			n = 0 // engine default: one shard per core
+		// bit-identical to the single-index path at any shard count,
+		// window or rebalancing history.
+		eng := engine.New(ds, ef.Options())
+		if w := ef.Window(); w > 0 {
+			// Sliding-window training: keep only the newest w patterns
+			// and compact so the dataset is exactly the window.
+			if evicted := eng.Window(w); evicted > 0 {
+				eng.Compact()
+				fmt.Printf("window %d: evicted %d older patterns, training on %d live\n",
+					w, evicted, eng.LiveLen())
+			}
 		}
-		engine.New(ds, engine.Options{Shards: n}).Configure(&base)
+		eng.Configure(&base)
 	}
 	res, err := core.MultiRun(core.MultiRunConfig{
 		Base:           base,

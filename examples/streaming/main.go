@@ -1,11 +1,14 @@
-// Streaming: incremental index maintenance end to end. The rule
-// system evolves on a prefix of the Mackey-Glass series; the
-// remainder then arrives in chunks, as an append-only stream. Each
+// Streaming: the lifecycle-managed store end to end, as a true
+// sliding window. The rule system evolves on a prefix of the
+// Mackey-Glass series; the remainder then arrives in chunks. Each
 // round first forecasts the incoming chunk (a true out-of-sample,
-// prequential test), then feeds its patterns to Engine.Append — which
-// routes them to the smallest shard and rebuilds only that shard's
-// index, instead of re-indexing the whole training set — and retrains
-// on the grown data through the same engine and shared cache.
+// prequential test), then slides the window: the chunk's patterns are
+// appended (routed to the emptiest shard, one index rebuild), the
+// oldest patterns beyond the window cap are evicted (tombstoned, then
+// compacted away so the training set is exactly the window), the
+// shard layout is rebalanced, and the system retrains on the window
+// through the same engine and shared cache — learning the new regime
+// as fast as it forgets the old one.
 package main
 
 import (
@@ -19,30 +22,14 @@ import (
 )
 
 const (
-	d       = 6 // window width
+	d       = 6 // window width (pattern size)
 	horizon = 1
 	prefix  = 1800 // samples the system first evolves on
 	chunk   = 300  // samples arriving per streaming round
 	total   = 3000
 )
 
-// tailPatterns returns the windowed patterns a series grown from
-// oldLen to len(values) samples adds — the Append payload. Windows
-// straddling the boundary belong to the new data: they could not be
-// formed before the chunk arrived.
-func tailPatterns(values []float64, oldLen int) (inputs [][]float64, targets []float64) {
-	first := oldLen - d - horizon + 1
-	if first < 0 {
-		first = 0
-	}
-	for i := first; i+d-1+horizon < len(values); i++ {
-		inputs = append(inputs, values[i:i+d])
-		targets = append(targets, values[i+d-1+horizon])
-	}
-	return inputs, targets
-}
-
-// train accumulates a rule system over the engine's current data.
+// train accumulates a rule system over the engine's current window.
 func train(eng *engine.Engine, seed int64) (*core.RuleSet, error) {
 	base := core.Default(d)
 	base.Horizon = horizon
@@ -72,21 +59,23 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	eng := engine.New(ds, engine.Options{Shards: 4})
-	fmt.Printf("prefix: %d samples → %d patterns across %d shards %v\n",
-		prefix, eng.Len(), eng.P(), eng.ShardSizes())
+	window := ds.Len() // live-pattern cap: the training set never outgrows the prefix
+	eng := engine.New(ds, engine.Options{Shards: 4, Rebalance: true})
+	fmt.Printf("prefix: %d samples → window of %d patterns across %d shards %v\n",
+		prefix, window, eng.P(), eng.ShardSizes())
 
 	rs, err := train(eng, 1)
 	if err != nil {
 		log.Fatal(err)
 	}
 
+	totalEvicted := 0
 	for grown, round := prefix, 1; grown < total; round++ {
 		next := grown + chunk
 		if next > total {
 			next = total
 		}
-		inputs, targets := tailPatterns(values[:next], grown)
+		inputs, targets := series.TailPatterns(values[:next], grown, d, horizon)
 
 		// Forecast the incoming chunk before training ever sees it.
 		test := &series.Dataset{Inputs: inputs, Targets: targets, D: d, Horizon: horizon}
@@ -98,24 +87,22 @@ func main() {
 		fmt.Printf("round %d: forecast %3d new patterns  rmse=%.4f  coverage=%4.1f%%\n",
 			round, len(inputs), rmse, 100*cov)
 
-		// Stream the chunk in: one shard absorbs it and is rebuilt;
-		// the other indexes are untouched, and the shared cache's
-		// epoch-keyed entries expire.
-		sizesBefore := eng.ShardSizes()
+		// Slide the window: append the chunk, evict what no longer
+		// fits, compact the tombstones away (the training set is now
+		// exactly the newest `window` patterns) and rebalance. Every
+		// cached evaluation from the old window has expired with the
+		// epoch.
 		if err := eng.Append(inputs, targets); err != nil {
 			log.Fatal(err)
 		}
-		sizesAfter := eng.ShardSizes()
-		routed := -1
-		for i := range sizesAfter {
-			if sizesAfter[i] != sizesBefore[i] {
-				routed = i
-			}
-		}
-		fmt.Printf("round %d: appended → %d patterns, shard %d rebuilt %v→%v, epoch %d\n",
-			round, eng.Len(), routed, sizesBefore, sizesAfter, eng.Epoch())
+		evicted := eng.Window(window)
+		eng.Compact()
+		totalEvicted += evicted
+		lo, hi := eng.LiveSpread()
+		fmt.Printf("round %d: window %d  +%d new  -%d evicted  live=%d  shards=%d (live %d..%d)  epoch=%d\n",
+			round, window, len(inputs), evicted, eng.LiveLen(), eng.P(), lo, hi, eng.Epoch())
 
-		// Retrain on the grown data through the same engine.
+		// Retrain on the slid window through the same engine.
 		if rs, err = train(eng, int64(round+1)); err != nil {
 			log.Fatal(err)
 		}
@@ -123,6 +110,6 @@ func main() {
 	}
 
 	hits, misses := eng.Cache().Stats()
-	fmt.Printf("done: %d rules over %d patterns; shared cache %d hits / %d misses\n",
-		rs.Len(), eng.Len(), hits, misses)
+	fmt.Printf("done: %d rules over a %d-pattern window (%d patterns evicted in total); shared cache %d hits / %d misses\n",
+		rs.Len(), eng.LiveLen(), totalEvicted, hits, misses)
 }

@@ -37,6 +37,55 @@ type Backend interface {
 	MatchBatch(rules []*Rule) [][]int
 }
 
+// Store widens Backend into a lifecycle-managed training store: data
+// can leave as well as arrive, so streaming workloads keep a sliding
+// window instead of a grow-only set. The sharded engine implements it;
+// a future network transport (shard servers behind a scatter/gather
+// client) would speak the same contract.
+//
+// Every mutation must bump Epoch before it returns, exactly as
+// appends do today — evaluation-cache keys embed the epoch, so a
+// result computed against any earlier snapshot can never be served
+// afterwards. Mutations must not run concurrently with evaluation
+// (the same exclusion Append already requires); match queries remain
+// safe with each other.
+//
+// Match results always range over live rows only: a deleted row never
+// appears in a matched set, whether it has been compacted away or
+// still sits behind a tombstone.
+type Store interface {
+	Backend
+
+	// Append adds streaming patterns at the tail of the store,
+	// assigning each a fresh ascending RowID.
+	Append(inputs [][]float64, targets []float64) error
+
+	// Delete tombstones the rows with the given stable ids and returns
+	// how many were live before the call. Unknown or already-dead ids
+	// are ignored.
+	Delete(ids []series.RowID) int
+
+	// Window keeps only the newest n live rows, tombstoning every
+	// older one, and returns the number evicted — the sliding-window
+	// primitive. Window(0) clears the store.
+	Window(n int) int
+
+	// Compact rewrites every shard holding tombstoned rows so they are
+	// physically removed (and Data() shrinks to live rows), returning
+	// the number of rows reclaimed. Results are unchanged — compaction
+	// only renumbers positions, never the live row set or its order.
+	Compact() int
+
+	// Rebalance runs the adaptive split/merge policy until live shard
+	// sizes are balanced, returning the number of split/merge steps
+	// taken. Like Compact, it can never change results.
+	Rebalance() int
+
+	// LiveLen returns the number of live rows — Data().Len() minus
+	// rows tombstoned but not yet compacted away.
+	LiveLen() int
+}
+
 // EvalCache is the pluggable evaluation-result cache. The default is
 // one private cache per Evaluator (see evalCache); internal/engine
 // provides a SharedCache that serves multi-run waves, islands and the

@@ -52,6 +52,12 @@ type Config struct {
 	// Ignored unless it was built over this execution's dataset.
 	// Purely a speed knob: any backend returns exact matched sets, so
 	// results are bit-identical to the sequential path.
+	//
+	// A backend may additionally be a lifecycle-managed Store
+	// (deletes, sliding windows, compaction, rebalancing); Store()
+	// returns that view. Mutations flow through the same seam appends
+	// do — each bumps the backend's epoch, so every cached evaluation
+	// from an older snapshot expires with it.
 	Backend Backend
 
 	// Cache optionally shares one evaluation-result cache across
@@ -146,6 +152,17 @@ func Default(d int) Config {
 		Workers:          0,
 		Seed:             1,
 	}
+}
+
+// Store returns the configured Backend as a lifecycle-managed Store
+// when it is one (the sharded engine always is), or nil when no
+// backend is set or it is match-only. Callers that stream data in and
+// out — sliding-window loops, eviction policies — reach the mutation
+// side of the engine through this accessor so they depend only on the
+// core contract, not on internal/engine.
+func (c *Config) Store() Store {
+	s, _ := c.Backend.(Store)
+	return s
 }
 
 // ErrConfig wraps every configuration validation failure.

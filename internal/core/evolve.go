@@ -56,7 +56,7 @@ func NewExecution(cfg Config, data *series.Dataset) (*Execution, error) {
 	}
 
 	ex := &Execution{
-		Config:   cfg,
+		Config: cfg,
 		Eval: NewEvaluatorOpt(data, emax, cfg.FMin, cfg.Ridge, cfg.Workers,
 			EvalOptions{Index: cfg.Index, Backend: cfg.Backend, Cache: cfg.Cache}),
 		src:      rng.New(cfg.Seed),

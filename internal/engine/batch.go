@@ -65,16 +65,19 @@ func (s *Shards) MatchBatch(rules []*core.Rule) [][]int {
 	})
 
 	// Per-rule merge of the shard results (ascending global indices).
-	n := s.data.Len()
+	// All-wildcard rules share one live-row enumeration: every live
+	// pattern matches, no shard walk or merge needed.
+	var allLive []int
+	for _, p := range plans {
+		if p.wildcard {
+			allLive = s.allLive()
+			break
+		}
+	}
 	parallel.For(len(rules), s.workers, func(w int) {
 		if plans[w].wildcard {
-			// All-wildcard rule: every pattern matches; no shard walk
-			// or merge needed.
-			all := make([]int, n)
-			for i := range all {
-				all[i] = i
-			}
-			out[w] = all
+			// Fresh copy per rule: callers own their result slices.
+			out[w] = append([]int(nil), allLive...)
 			return
 		}
 		perShard := make([][]int, len(s.parts))
@@ -136,7 +139,8 @@ func (sh *shard) matchAlong(r *core.Rule, dim int) []int {
 				return nil
 			}
 			if (hi-lo)*2 <= ns {
-				return sh.idx.CollectWithin(dim, lo, hi, r)
+				sh.cost.Add(int64(hi-lo) + 1)
+				return sh.filterLive(sh.idx.CollectWithin(dim, lo, hi, r))
 			}
 		}
 	}

@@ -1,0 +1,53 @@
+package engine
+
+import "flag"
+
+// Flags bundles the engine's CLI knobs so every binary (tsforecast,
+// experiments) registers -shards/-window/-rebalance once, with one
+// shared spelling and meaning, instead of each re-declaring and
+// re-interpreting them.
+type Flags struct {
+	shards    *int
+	window    *int
+	rebalance *bool
+}
+
+// RegisterFlags defines the engine flags on fs and returns the handle
+// to resolve them after parsing.
+func RegisterFlags(fs *flag.FlagSet) *Flags {
+	return &Flags{
+		shards: fs.Int("shards", 0,
+			"training-set shards for the batched evaluation engine (0 = single index, -1 = one per core)"),
+		window: fs.Int("window", 0,
+			"sliding-window cap on live training patterns: older rows are evicted and compacted away (0 = keep everything; enables the engine)"),
+		rebalance: fs.Bool("rebalance", false,
+			"adaptive shard split/merge rebalancing under skewed streams (enables the engine)"),
+	}
+}
+
+// Enabled reports whether any flag asked for the engine. -shards 0
+// alone keeps the sequential single-index path, but -window or
+// -rebalance need the engine and enable it (with the default per-core
+// shard count) on their own.
+func (f *Flags) Enabled() bool {
+	return *f.shards != 0 || *f.window > 0 || *f.rebalance
+}
+
+// Options resolves the parsed flags into engine Options. The CLI's
+// "-1 = one per core" spelling maps onto the engine default (0), and
+// everything is clamped in the one shared place.
+func (f *Flags) Options() Options {
+	n := *f.shards
+	if n < 0 {
+		n = 0 // engine default: one shard per core
+	}
+	return Options{Shards: n, Rebalance: *f.rebalance}.Clamped()
+}
+
+// Window returns the requested sliding-window cap (0 = unbounded).
+func (f *Flags) Window() int {
+	if *f.window < 0 {
+		return 0
+	}
+	return *f.window
+}

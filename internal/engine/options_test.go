@@ -1,0 +1,108 @@
+package engine
+
+import (
+	"flag"
+	"math"
+	"testing"
+)
+
+// TestOptionsClamped is the satellite table test: out-of-range
+// options are normalized in one place, so constructors never see
+// negative shard/worker/capacity counts or a malformed threshold.
+func TestOptionsClamped(t *testing.T) {
+	cases := []struct {
+		name string
+		in   Options
+		want Options
+	}{
+		{
+			name: "zero value resolves the default threshold",
+			in:   Options{},
+			want: Options{CompactThreshold: DefaultCompactThreshold},
+		},
+		{
+			name: "negative counts become defaults",
+			in:   Options{Shards: -3, Workers: -1, CacheCapacity: -7},
+			want: Options{CompactThreshold: DefaultCompactThreshold},
+		},
+		{
+			name: "positive fields pass through",
+			in:   Options{Shards: 4, Workers: 2, CacheCapacity: 99, CompactThreshold: 0.5, Rebalance: true},
+			want: Options{Shards: 4, Workers: 2, CacheCapacity: 99, CompactThreshold: 0.5, Rebalance: true},
+		},
+		{
+			name: "negative threshold disables auto-compaction",
+			in:   Options{CompactThreshold: -0.4},
+			want: Options{CompactThreshold: -1},
+		},
+		{
+			name: "NaN threshold disables auto-compaction",
+			in:   Options{CompactThreshold: math.NaN()},
+			want: Options{CompactThreshold: -1},
+		},
+		{
+			name: "threshold above one clamps to one",
+			in:   Options{CompactThreshold: 3},
+			want: Options{CompactThreshold: 1},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.in.Clamped(); got != tc.want {
+				t.Fatalf("Clamped(%+v) = %+v, want %+v", tc.in, got, tc.want)
+			}
+		})
+	}
+
+	// Clamping is idempotent: a clamped option set is a fixed point.
+	for _, tc := range cases {
+		once := tc.in.Clamped()
+		if twice := once.Clamped(); twice != once {
+			t.Fatalf("%s: Clamped not idempotent: %+v then %+v", tc.name, once, twice)
+		}
+	}
+
+	// The constructors go through the same clamp: a hostile option set
+	// still yields a working engine.
+	ds := testDataset(t, 50, 3, false)
+	eng := New(ds, Options{Shards: -5, Workers: -2, CacheCapacity: -1, CompactThreshold: math.NaN()})
+	if eng.P() < 1 || eng.LiveLen() != ds.Len() {
+		t.Fatalf("engine built from hostile options: P=%d live=%d", eng.P(), eng.LiveLen())
+	}
+	if got := eng.MatchIndices(randomRules(ds, 1, 1)[0]); got == nil {
+		_ = got // nil is legal (no matches); the call just must not panic
+	}
+}
+
+// TestFlagsSharedWiring checks the one-place CLI wiring: both
+// binaries register through RegisterFlags, so the flag names and
+// resolution rules cannot drift apart.
+func TestFlagsSharedWiring(t *testing.T) {
+	parse := func(args ...string) *Flags {
+		fs := flag.NewFlagSet("test", flag.ContinueOnError)
+		f := RegisterFlags(fs)
+		if err := fs.Parse(args); err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+
+	if f := parse(); f.Enabled() {
+		t.Fatal("no flags: engine must stay disabled")
+	}
+	if f := parse("-shards", "8"); !f.Enabled() || f.Options().Shards != 8 {
+		t.Fatalf("-shards 8: Enabled=%v Options=%+v", f.Enabled(), f.Options())
+	}
+	if f := parse("-shards", "-1"); !f.Enabled() || f.Options().Shards != 0 {
+		t.Fatalf("-shards -1 must resolve to the per-core default, got %+v", f.Options())
+	}
+	if f := parse("-window", "500"); !f.Enabled() || f.Window() != 500 {
+		t.Fatalf("-window 500: Enabled=%v Window=%d", f.Enabled(), f.Window())
+	}
+	if f := parse("-rebalance"); !f.Enabled() || !f.Options().Rebalance {
+		t.Fatalf("-rebalance: Enabled=%v Options=%+v", f.Enabled(), f.Options())
+	}
+	if f := parse("-window", "-3"); f.Enabled() || f.Window() != 0 {
+		t.Fatalf("negative -window must clamp to unbounded, got %d", f.Window())
+	}
+}

@@ -4,14 +4,18 @@
 // goroutines and merge ordered results; serves whole generations of
 // offspring through one scheduling pass (MatchBatch); shares a
 // generation-aware result cache across evaluators, multi-run waves,
-// islands and the Pittsburgh baseline; and maintains its per-shard
-// indexes incrementally under append-only streaming data instead of
-// rebuilding from scratch.
+// islands and the Pittsburgh baseline; and manages the dataset's full
+// lifecycle under streaming data — incremental appends, tombstoned
+// deletes and sliding windows, threshold-triggered compaction, and
+// adaptive shard split/merge rebalancing — instead of rebuilding from
+// scratch.
 //
-// The engine implements core.Backend. It accelerates only the match
-// side — all regression and fitness math stays in core — so every
-// configuration (any shard count, any parallelism, cache on or off)
-// is bit-identical to the sequential single-index path.
+// The engine implements core.Store (and therefore core.Backend). It
+// accelerates only the match side — all regression and fitness math
+// stays in core — so every configuration (any shard count, any
+// parallelism, cache on or off, any append/delete/compact/rebalance
+// history) is bit-identical to the sequential single-index path over
+// the same live rows.
 package engine
 
 import (
@@ -28,56 +32,150 @@ import (
 // Shards is the training dataset partitioned across P shards, each
 // carrying its own slice of patterns and its own MatchIndex. The
 // initial build partitions contiguously; streaming appends route new
-// patterns to the smallest shard (rebuilding only that shard's
-// index), so after appends a shard owns an ascending but not
-// necessarily contiguous set of global pattern indices. Queries merge
-// per-shard results through a bitmap over global indices, which
+// patterns to the shard with the fewest live rows (rebuilding only
+// that shard's index), so after appends a shard owns an ascending but
+// not necessarily contiguous set of global pattern indices. Queries
+// merge per-shard results through a bitmap over global indices, which
 // restores ascending order regardless of layout.
 //
-// Match queries are safe for concurrent use with each other; Append
-// excludes queries on the engine's own structures via the RWMutex,
-// but mutates the shared dataset in place — callers must not run
-// Append concurrently with code reading the dataset outside the
-// engine (streaming loops alternate evolve and append phases).
+// Rows leave through tombstones: Delete and Window mark rows dead in
+// per-shard bitmaps, every match path skips them, and compaction
+// (threshold-triggered or explicit) rewrites the affected shards and
+// the global dataset view so the memory is reclaimed and Data()
+// shrinks back to the live rows. Rows are named across these
+// renumberings by their stable series.RowID, assigned in insertion
+// order; the global view always keeps live rows in insertion order,
+// which is what makes engine evaluations bit-identical to a
+// from-scratch build over the live rows (floating-point accumulation
+// order is part of the contract).
+//
+// Match queries are safe for concurrent use with each other;
+// mutations (Append, Delete, Window, Compact, Rebalance) exclude
+// queries via the RWMutex but mutate the shared dataset in place —
+// callers must not mutate concurrently with code reading the dataset
+// outside the engine (streaming loops alternate evolve and mutate
+// phases).
 type Shards struct {
 	mu      sync.RWMutex
-	data    *series.Dataset // the full dataset view; grows on Append
+	data    *series.Dataset // the full dataset view; Append grows it, Compact shrinks it
 	parts   []*shard
 	workers int
 	epoch   atomic.Uint64
+
+	deadTotal int          // tombstoned rows awaiting compaction, across all shards
+	nextID    series.RowID // next RowID to assign on Append
+
+	// Lifecycle policy (fixed at construction; see Options).
+	compactThreshold float64 // per-shard dead ratio that triggers auto-compaction; <0 disables
+	autoRebalance    bool
+	targetP          int // configured shard count rebalancing regrows toward
 }
 
 // shard is one partition: a shard-local dataset whose rows alias the
 // full dataset's rows (read-only), the ascending global index of each
-// local pattern, and the shard's own match index.
+// local pattern, the shard's own match index, and the shard's
+// tombstone bitmap. The index is always built over the shard's full
+// local data (dead rows included, until compaction); match paths
+// filter through the bitmap, so a tombstoned row is invisible the
+// moment Delete returns.
 type shard struct {
 	global []int32         // global[i]: full-dataset index of local pattern i
 	data   *series.Dataset // local view; Inputs/Targets own their headers
 	idx    *core.MatchIndex
+	dead   []uint64     // tombstone bitmap over local indices; nil until first delete
+	deadN  int          // set bits in dead
+	cost   atomic.Int64 // cumulative match work served (rows examined); rebalancing tiebreak
+}
+
+// live returns the shard's live (non-tombstoned) row count.
+func (sh *shard) live() int { return sh.data.Len() - sh.deadN }
+
+// isDead reports whether local row li is tombstoned. Rows past the
+// bitmap's end (appended after the last delete grew it) are live.
+func (sh *shard) isDead(li int) bool {
+	return sh.deadN > 0 && li>>6 < len(sh.dead) && sh.dead[li>>6]&(1<<(uint(li)&63)) != 0
+}
+
+// markDead tombstones local row li, growing the bitmap on first use.
+// Reports whether the row was live.
+func (sh *shard) markDead(li int) bool {
+	words := (sh.data.Len() + 63) >> 6
+	for len(sh.dead) < words {
+		sh.dead = append(sh.dead, 0)
+	}
+	if sh.dead[li>>6]&(1<<(uint(li)&63)) != 0 {
+		return false
+	}
+	sh.dead[li>>6] |= 1 << (uint(li) & 63)
+	sh.deadN++
+	return true
+}
+
+// filterLive drops tombstoned rows from an ascending local matched
+// set, in place. Returns nil when nothing survives, staying
+// interchangeable with the scan path.
+func (sh *shard) filterLive(out []int) []int {
+	if sh.deadN == 0 || len(out) == 0 {
+		return out
+	}
+	w := out[:0]
+	for _, li := range out {
+		if !sh.isDead(li) {
+			w = append(w, li)
+		}
+	}
+	if len(w) == 0 {
+		return nil
+	}
+	return w
 }
 
 // NewShards partitions the dataset into p shards (p<=0 → GOMAXPROCS,
 // clamped to the dataset size so no shard is empty) and builds one
 // MatchIndex per shard. workers bounds the fan-out goroutines for
 // queries (0 = GOMAXPROCS). The engine takes ownership of the
-// dataset's growth: all appends must go through Append.
+// dataset's lifecycle: all mutations must go through the engine.
 func NewShards(data *series.Dataset, p, workers int) *Shards {
+	return NewShardsOpt(data, Options{Shards: p, Workers: workers})
+}
+
+// NewShardsOpt is NewShards with the full option set (lifecycle
+// thresholds, rebalancing). Options are clamped in one place; see
+// Options.Clamped.
+func NewShardsOpt(data *series.Dataset, opt Options) *Shards {
+	opt = opt.Clamped()
 	n := data.Len()
+	p := opt.Shards
 	if p <= 0 {
 		p = runtime.GOMAXPROCS(0)
 	}
+	targetP := p // a tiny seed clamps p below; rebalancing regrows toward the configured count
 	if p > n {
 		p = n
 	}
 	if p < 1 {
 		p = 1
 	}
-	s := &Shards{data: data, workers: workers}
+	s := &Shards{
+		data:             data,
+		workers:          opt.Workers,
+		compactThreshold: opt.CompactThreshold,
+		autoRebalance:    opt.Rebalance,
+		targetP:          targetP,
+	}
+	// Stable row identity: adopt the dataset's ids when it already has
+	// ascending ones (a store handing data across engines), otherwise
+	// number rows by position.
+	if ascendingIDs(data) {
+		s.nextID = data.IDs[n-1] + 1
+	} else {
+		s.nextID = data.AssignIDs(0)
+	}
 	s.parts = make([]*shard, p)
 	// Contiguous blocks, remainder spread over the first shards: the
 	// same layout a from-scratch rebuild would produce.
 	base, rem := n/p, n%p
-	parallel.For(p, workers, func(i int) {
+	parallel.For(p, opt.Workers, func(i int) {
 		size := base
 		if i < rem {
 			size++
@@ -104,28 +202,61 @@ func NewShards(data *series.Dataset, p, workers int) *Shards {
 	return s
 }
 
-// P returns the number of shards.
-func (s *Shards) P() int { return len(s.parts) }
+// ascendingIDs reports whether the dataset carries a usable id per
+// row, in strictly ascending order (the invariant every engine
+// mutation preserves).
+func ascendingIDs(data *series.Dataset) bool {
+	if !data.HasIDs() {
+		return false
+	}
+	for i := 1; i < len(data.IDs); i++ {
+		if data.IDs[i] <= data.IDs[i-1] {
+			return false
+		}
+	}
+	return true
+}
 
-// Len returns the current number of training patterns.
+// P returns the current number of shards. Rebalancing splits and
+// merges shards, so the count can drift from the configured one.
+func (s *Shards) P() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.parts)
+}
+
+// Len returns the number of resident training patterns — live rows
+// plus tombstoned rows awaiting compaction. Data().Len() equals it.
 func (s *Shards) Len() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.data.Len()
 }
 
+// LiveLen returns the number of live training patterns: the rows
+// match queries range over.
+func (s *Shards) LiveLen() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.data.Len() - s.deadTotal
+}
+
 // Data returns the full training dataset the shards partition. It is
-// the pointer the engine was built over; Append grows it in place, so
-// evaluators keyed on it stay wired after streaming appends.
+// the pointer the engine was built over; mutations grow and shrink it
+// in place, so evaluators keyed on it stay wired across the dataset's
+// whole lifecycle. Between a Delete/Window and the compaction that
+// follows it, the view still holds the tombstoned rows — no match
+// result ever references them.
 func (s *Shards) Data() *series.Dataset { return s.data }
 
-// Epoch returns the data epoch: the number of Appends performed.
-// Evaluation-cache keys embed it, expiring every result computed
-// against an older snapshot.
+// Epoch returns the data epoch: the number of mutations (appends,
+// deletes, windows, compactions, rebalances) performed. Evaluation-
+// cache keys embed it, expiring every result computed against an
+// older snapshot.
 func (s *Shards) Epoch() uint64 { return s.epoch.Load() }
 
-// ShardSizes returns the current pattern count of every shard (a
-// diagnostics hook for tests and the streaming example).
+// ShardSizes returns the current resident pattern count of every
+// shard (a diagnostics hook for tests and the streaming example).
 func (s *Shards) ShardSizes() []int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -136,13 +267,68 @@ func (s *Shards) ShardSizes() []int {
 	return sizes
 }
 
+// ShardStat is one shard's lifecycle diagnostics.
+type ShardStat struct {
+	Resident int // rows physically in the shard (live + tombstoned)
+	Live     int // rows match queries can return
+	Dead     int // tombstoned rows awaiting compaction
+	// Cost approximates rows examined serving match queries: a full
+	// resident scan for the fallback path, rows collected for an
+	// index hit. The units differ per path — it is a coarse heat
+	// heuristic for rebalancing tie-breaks, not a precise counter —
+	// and it resets when the shard is rewritten.
+	Cost int64
+}
+
+// ShardStats returns per-shard live/dead sizes and cumulative query
+// cost — the observables the rebalancing policy keys on.
+func (s *Shards) ShardStats() []ShardStat {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	stats := make([]ShardStat, len(s.parts))
+	for i, sh := range s.parts {
+		stats[i] = ShardStat{
+			Resident: sh.data.Len(),
+			Live:     sh.live(),
+			Dead:     sh.deadN,
+			Cost:     sh.cost.Load(),
+		}
+	}
+	return stats
+}
+
+// LiveSpread returns the smallest and largest live shard sizes — the
+// observable the rebalancing policy bounds (hi <= 2*lo once balanced)
+// and the one its consumers report.
+func (s *Shards) LiveSpread() (lo, hi int) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	lo = -1
+	for _, sh := range s.parts {
+		l := sh.live()
+		if lo < 0 || l < lo {
+			lo = l
+		}
+		if l > hi {
+			hi = l
+		}
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	return lo, hi
+}
+
 // Append adds streaming patterns to the dataset and maintains the
 // shard indexes incrementally: all new patterns are routed to the
-// currently smallest shard (lowest index on ties, so the layout is
-// deterministic) and only that shard's index is rebuilt — O(n_s log
-// n_s) instead of the full O(n log n) rebuild. The global dataset
-// view grows in place. Returns an error when a pattern's width does
-// not match the dataset's D or inputs and targets disagree in length.
+// shard currently holding the fewest live rows (lowest index on ties,
+// so the layout is deterministic) and only that shard's index is
+// rebuilt — O(n_s log n_s) instead of the full O(n log n) rebuild.
+// The global dataset view grows in place and each new row receives
+// the next ascending RowID. When rebalancing is enabled, a chunk that
+// leaves the routed shard oversized is split apart again before
+// Append returns. Returns an error when a pattern's width does not
+// match the dataset's D or inputs and targets disagree in length.
 func (s *Shards) Append(inputs [][]float64, targets []float64) error {
 	if len(inputs) != len(targets) {
 		return fmt.Errorf("engine: Append with %d inputs but %d targets", len(inputs), len(targets))
@@ -161,12 +347,17 @@ func (s *Shards) Append(inputs [][]float64, targets []float64) error {
 	base := s.data.Len()
 	s.data.Inputs = append(s.data.Inputs, inputs...)
 	s.data.Targets = append(s.data.Targets, targets...)
+	for range inputs {
+		s.data.IDs = append(s.data.IDs, s.nextID)
+		s.nextID++
+	}
 
-	// Route the whole chunk to the smallest shard: one index rebuild
-	// per Append, and sizes stay balanced across a stream of chunks.
+	// Route the whole chunk to the shard with the fewest live rows:
+	// one index rebuild per Append, and live sizes stay balanced
+	// across a stream of chunks.
 	sm := 0
 	for i, sh := range s.parts {
-		if sh.data.Len() < s.parts[sm].data.Len() {
+		if sh.live() < s.parts[sm].live() {
 			sm = i
 		}
 	}
@@ -178,17 +369,21 @@ func (s *Shards) Append(inputs [][]float64, targets []float64) error {
 		sh.data.Targets = append(sh.data.Targets, s.data.Targets[g])
 	}
 	sh.idx = core.NewMatchIndex(sh.data)
+	sh.cost.Store(0)
 
 	s.epoch.Add(1)
+	if s.autoRebalance {
+		s.rebalanceLocked()
+	}
 	return nil
 }
 
-// MatchIndices returns the rule's matched pattern indices over the
-// full dataset, ascending — exactly what the sequential single-index
-// path returns. The query fans out across shards (each answered by
-// its own index, falling back to a shard-local scan when the index
-// cannot beat one) and the per-shard hits are merged through a global
-// bitmap.
+// MatchIndices returns the rule's matched live pattern indices over
+// the full dataset, ascending — exactly what the sequential
+// single-index path over the live rows returns. The query fans out
+// across shards (each answered by its own index, falling back to a
+// shard-local scan when the index cannot beat one) and the per-shard
+// hits are merged through a global bitmap.
 func (s *Shards) MatchIndices(r *core.Rule) []int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -199,21 +394,27 @@ func (s *Shards) MatchIndices(r *core.Rule) []int {
 	return s.merge(locals)
 }
 
-// match computes the shard-local matched set: index lookup when the
-// shard index can answer, linear scan otherwise. Identical to the
-// evaluator's own two-path logic, just over the shard's patterns.
+// match computes the shard-local live matched set: index lookup when
+// the shard index can answer, linear scan otherwise. Identical to the
+// evaluator's own two-path logic, just over the shard's patterns,
+// with tombstoned rows filtered out of either path's result.
 func (sh *shard) match(r *core.Rule) []int {
 	if out, ok := sh.idx.Lookup(r); ok {
-		return out
+		sh.cost.Add(int64(len(out)) + 1)
+		return sh.filterLive(out)
 	}
 	return sh.scan(r)
 }
 
 // scan is the shard-local reference path (the shards already provide
-// the parallelism, so it stays serial).
+// the parallelism, so it stays serial). Tombstoned rows are skipped.
 func (sh *shard) scan(r *core.Rule) []int {
+	sh.cost.Add(int64(sh.data.Len()) + 1)
 	var out []int
 	for i, row := range sh.data.Inputs {
+		if sh.isDead(i) {
+			continue
+		}
 		if r.Match(row) {
 			out = append(out, i)
 		}
@@ -245,4 +446,40 @@ func (s *Shards) merge(locals [][]int) []int {
 		}
 	}
 	return core.AppendSetBits(make([]int, 0, total), words)
+}
+
+// allLive returns every live global index, ascending — the
+// all-wildcard answer. Callers hold mu (read or write).
+func (s *Shards) allLive() []int {
+	n := s.data.Len()
+	live := n - s.deadTotal
+	if live == 0 {
+		return nil
+	}
+	if s.deadTotal == 0 {
+		all := make([]int, n)
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	}
+	words := make([]uint64, (n+63)>>6)
+	for i := range words {
+		words[i] = ^uint64(0)
+	}
+	if tail := n & 63; tail != 0 {
+		words[len(words)-1] = 1<<uint(tail) - 1
+	}
+	for _, sh := range s.parts {
+		if sh.deadN == 0 {
+			continue
+		}
+		for li := range sh.data.Inputs {
+			if sh.isDead(li) {
+				g := sh.global[li]
+				words[g>>6] &^= 1 << (uint(g) & 63)
+			}
+		}
+	}
+	return core.AppendSetBits(make([]int, 0, live), words)
 }

@@ -71,7 +71,7 @@ func Ablations(sc Scale, seed int64) (*AblationResult, error) {
 	var eng *engine.Engine
 	var idx *core.MatchIndex
 	if sc.EngineShards > 0 {
-		eng = engine.New(train, engine.Options{Shards: sc.EngineShards})
+		eng = engine.New(train, sc.engineOptions())
 	} else {
 		idx = core.NewMatchIndex(train)
 	}

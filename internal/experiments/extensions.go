@@ -321,7 +321,7 @@ func MichiganVsPittsburgh(sc Scale, seed int64) (*ApproachResult, error) {
 	// stores can be shared safely.
 	var eng *engine.Engine
 	if sc.EngineShards > 0 {
-		eng = engine.New(train, engine.Options{Shards: sc.EngineShards})
+		eng = engine.New(train, sc.engineOptions())
 	}
 
 	// Island model: same per-execution budget split across 4 islands.

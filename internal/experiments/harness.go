@@ -52,7 +52,7 @@ func ruleSystemRun(train, val *series.Dataset, sc Scale, seed int64, emaxFrac fl
 	// engine (with its shared result cache) when the scale asks for
 	// it, one shared match index otherwise.
 	if sc.EngineShards > 0 {
-		engine.New(train, engine.Options{Shards: sc.EngineShards}).Configure(&base)
+		engine.New(train, sc.engineOptions()).Configure(&base)
 	} else {
 		base.Index = core.NewMatchIndex(train)
 	}

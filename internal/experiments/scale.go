@@ -5,7 +5,11 @@
 // at the paper's full protocol (-full in cmd/experiments).
 package experiments
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/engine"
+)
 
 // Scale fixes the computational budget of an experiment run. The
 // paper's numbers (Paper scale): Venice 45,000 train / 10,000
@@ -38,6 +42,23 @@ type Scale struct {
 	// bit-identical either way (cmd/experiments exposes it as
 	// -shards).
 	EngineShards int
+
+	// EngineRebalance enables the engine's adaptive shard split/merge
+	// policy (cmd/experiments: -rebalance). Like EngineShards, purely
+	// a layout knob — results are unchanged.
+	EngineRebalance bool
+
+	// EngineWindow > 0 caps the live training set of streaming
+	// scenarios at that many patterns: the windowed-stream experiment
+	// evicts and compacts older rows each round (cmd/experiments:
+	// -window). 0 lets each scenario pick its own window.
+	EngineWindow int
+}
+
+// engineOptions resolves the scale's engine knobs into one option
+// set, so every harness builds its engine the same way.
+func (s Scale) engineOptions() engine.Options {
+	return engine.Options{Shards: s.EngineShards, Rebalance: s.EngineRebalance}.Clamped()
 }
 
 // Tiny is the unit-test scale: everything completes in well under a

@@ -1,0 +1,46 @@
+package series
+
+import "testing"
+
+// TestAssignIDsAndSplit covers the stable-row-identity contract the
+// lifecycle-managed store depends on: AssignIDs numbers rows in
+// insertion order and returns the continuation counter, and Split
+// carries identities along with their rows.
+func TestAssignIDsAndSplit(t *testing.T) {
+	s := New("ids", []float64{1, 2, 3, 4, 5, 6, 7, 8})
+	ds, err := Window(s, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.HasIDs() {
+		t.Fatal("Window must not assign ids on its own")
+	}
+
+	next := ds.AssignIDs(10)
+	if !ds.HasIDs() {
+		t.Fatal("AssignIDs left the dataset without ids")
+	}
+	if want := RowID(10 + ds.Len()); next != want {
+		t.Fatalf("AssignIDs returned %d, want %d", next, want)
+	}
+	for i, id := range ds.IDs {
+		if id != RowID(10+i) {
+			t.Fatalf("IDs[%d] = %d, want %d", i, id, 10+i)
+		}
+	}
+
+	train, test := ds.Split(3)
+	if len(train.IDs) != 3 || len(test.IDs) != ds.Len()-3 {
+		t.Fatalf("Split sliced ids %d/%d, want 3/%d", len(train.IDs), len(test.IDs), ds.Len()-3)
+	}
+	if train.IDs[0] != 10 || test.IDs[0] != 13 {
+		t.Fatalf("Split ids start at %d/%d, want 10/13", train.IDs[0], test.IDs[0])
+	}
+
+	// Without ids, Split keeps both halves id-free.
+	plain, _ := Window(s, 2, 1)
+	a, b := plain.Split(2)
+	if a.IDs != nil || b.IDs != nil {
+		t.Fatal("Split invented ids for an id-free dataset")
+	}
+}

@@ -54,6 +54,15 @@ func (s *Series) NormalizeWith(sc *stats.MinMaxScaler) *Series {
 	return &Series{Name: s.Name + "/norm", Values: sc.TransformSlice(s.Values)}
 }
 
+// RowID is the stable identity of one dataset row (pattern). Row
+// positions shift when a lifecycle-managed store compacts deleted
+// rows away, so anything that must name a row across mutations —
+// tombstones, sliding-window eviction, delete requests — refers to it
+// by RowID instead. IDs are assigned in insertion order and never
+// reused, so a dataset that preserves insertion order (every mutation
+// in this repository does) keeps its IDs slice in ascending order.
+type RowID int64
+
 // Dataset is the windowed view of a series used by every learner in
 // this repository: Inputs[i] holds D consecutive observations
 // (x_i ... x_{i+D-1}) and Targets[i] holds x_{i+D-1+Horizon}, matching
@@ -61,6 +70,12 @@ func (s *Series) NormalizeWith(sc *stats.MinMaxScaler) *Series {
 type Dataset struct {
 	Inputs  [][]float64
 	Targets []float64
+	// IDs optionally carries one stable RowID per pattern, in the same
+	// order as Inputs/Targets. Nil means rows have only positional
+	// identity — enough for the frozen-dataset learners; the
+	// lifecycle-managed store (internal/engine) calls AssignIDs so
+	// deletes and sliding windows survive compaction.
+	IDs     []RowID
 	D       int // window width (number of consecutive inputs)
 	Horizon int // prediction horizon τ
 }
@@ -94,6 +109,23 @@ func Window(s *Series, d, horizon int) (*Dataset, error) {
 		ds.Targets[i] = s.Values[i+d-1+horizon]
 	}
 	return ds, nil
+}
+
+// TailPatterns returns the windowed patterns a series grown from
+// oldLen to len(values) samples adds — the payload a streaming loop
+// feeds to its store's Append. Windows straddling the boundary belong
+// to the new data: they could not be formed before the growth
+// arrived. Inputs alias values, matching Window.
+func TailPatterns(values []float64, oldLen, d, horizon int) (inputs [][]float64, targets []float64) {
+	first := oldLen - d - horizon + 1
+	if first < 0 {
+		first = 0
+	}
+	for i := first; i+d-1+horizon < len(values); i++ {
+		inputs = append(inputs, values[i:i+d])
+		targets = append(targets, values[i+d-1+horizon])
+	}
+	return inputs, targets
 }
 
 // WindowEmbed is the delay-embedded variant used throughout the
@@ -139,6 +171,21 @@ func WindowEmbed(s *Series, d, spacing, horizon int) (*Dataset, error) {
 // Len returns the number of patterns.
 func (ds *Dataset) Len() int { return len(ds.Targets) }
 
+// AssignIDs gives every row a stable identity, numbering them
+// start, start+1, ... in row order, and returns the next unused id —
+// the counter a streaming store continues from when appending. Any
+// existing IDs are replaced.
+func (ds *Dataset) AssignIDs(start RowID) RowID {
+	ds.IDs = make([]RowID, ds.Len())
+	for i := range ds.IDs {
+		ds.IDs[i] = start + RowID(i)
+	}
+	return start + RowID(ds.Len())
+}
+
+// HasIDs reports whether every row carries a stable identity.
+func (ds *Dataset) HasIDs() bool { return len(ds.IDs) == ds.Len() && ds.Len() > 0 }
+
 // Split partitions the dataset at index k into train (first k
 // patterns) and test (the rest). Panics if k is out of range.
 func (ds *Dataset) Split(k int) (train, test *Dataset) {
@@ -147,6 +194,11 @@ func (ds *Dataset) Split(k int) (train, test *Dataset) {
 	}
 	train = &Dataset{Inputs: ds.Inputs[:k], Targets: ds.Targets[:k], D: ds.D, Horizon: ds.Horizon}
 	test = &Dataset{Inputs: ds.Inputs[k:], Targets: ds.Targets[k:], D: ds.D, Horizon: ds.Horizon}
+	if len(ds.IDs) == ds.Len() {
+		// Row identities travel with their rows.
+		train.IDs = ds.IDs[:k]
+		test.IDs = ds.IDs[k:]
+	}
 	return train, test
 }
 

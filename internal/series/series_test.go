@@ -157,3 +157,41 @@ func TestPropertyWindowAlignment(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestTailPatterns pins the boundary math: the patterns a grown
+// series adds are exactly the full window minus the old prefix's
+// windows, for any growth point including one inside the first
+// window.
+func TestTailPatterns(t *testing.T) {
+	values := []float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	const d, horizon = 3, 2
+	full, err := Window(New("full", values), d, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for oldLen := 0; oldLen <= len(values); oldLen++ {
+		old := 0
+		if oldLen >= d+horizon {
+			prefix, err := Window(New("prefix", values[:oldLen]), d, horizon)
+			if err != nil {
+				t.Fatal(err)
+			}
+			old = prefix.Len()
+		}
+		inputs, targets := TailPatterns(values, oldLen, d, horizon)
+		if len(inputs) != full.Len()-old {
+			t.Fatalf("oldLen=%d: got %d tail patterns, want %d", oldLen, len(inputs), full.Len()-old)
+		}
+		for k := range inputs {
+			g := old + k
+			for j, x := range inputs[k] {
+				if x != full.Inputs[g][j] {
+					t.Fatalf("oldLen=%d pattern %d input %d: got %v want %v", oldLen, k, j, x, full.Inputs[g][j])
+				}
+			}
+			if targets[k] != full.Targets[g] {
+				t.Fatalf("oldLen=%d pattern %d target: got %v want %v", oldLen, k, targets[k], full.Targets[g])
+			}
+		}
+	}
+}
