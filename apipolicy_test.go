@@ -1,0 +1,85 @@
+package repro
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestBinariesUseFacadeOnly enforces the API seam: every binary under
+// cmd/ and examples/ talks to the system through the public forecast
+// package. Importing repro/internal/core there would let config
+// construction and run orchestration bypass the facade again — the
+// exact coupling this policy exists to prevent. (Other internal
+// leaves — series generators, metrics, plotting — are fine: they are
+// data and presentation, not the engine's control surface.)
+func TestBinariesUseFacadeOnly(t *testing.T) {
+	for _, root := range []string{"cmd", "examples"} {
+		err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+			if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+				return err
+			}
+			fset := token.NewFileSet()
+			file, err := parser.ParseFile(fset, path, nil, parser.ImportsOnly)
+			if err != nil {
+				return err
+			}
+			for _, imp := range file.Imports {
+				p, _ := strconv.Unquote(imp.Path.Value)
+				if p == "repro/internal/core" {
+					t.Errorf("%s imports %s: binaries must go through the forecast facade", path, p)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestAPISurfaceCurrent keeps API.txt in sync: the committed export
+// listing must match what tools/apisurface generates from the source,
+// so every public-API change is visible in the diff of the PR that
+// makes it. Regenerate with:
+//
+//	go run ./tools/apisurface > API.txt
+func TestAPISurfaceCurrent(t *testing.T) {
+	// The tool is a main package; reproduce its (small) logic by
+	// shelling out would need the go tool at test time, so instead we
+	// just verify API.txt mentions every exported forecast identifier
+	// found by a fresh parse — a cheap staleness tripwire; CI runs the
+	// full byte-exact diff.
+	want, err := os.ReadFile("API.txt")
+	if err != nil {
+		t.Fatalf("API.txt missing (generate with: go run ./tools/apisurface > API.txt): %v", err)
+	}
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, "forecast", nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	listing := string(want)
+	for name, pkg := range pkgs {
+		if strings.HasSuffix(name, "_test") {
+			continue
+		}
+		for fname, file := range pkg.Files {
+			if strings.HasSuffix(fname, "_test.go") {
+				continue
+			}
+			for _, obj := range file.Scope.Objects {
+				if !token.IsExported(obj.Name) {
+					continue
+				}
+				if !strings.Contains(listing, obj.Name) {
+					t.Errorf("exported identifier forecast.%s is not in API.txt — regenerate with: go run ./tools/apisurface > API.txt", obj.Name)
+				}
+			}
+		}
+	}
+}

@@ -12,6 +12,8 @@
 package repro
 
 import (
+	"context"
+
 	"math"
 	"testing"
 
@@ -31,7 +33,7 @@ func BenchmarkTable1Venice(b *testing.B) {
 	sc := experiments.Tiny()
 	var last *experiments.Table1Result
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Table1(sc, 42, nil)
+		res, err := experiments.Table1(context.Background(), sc, 42, nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -51,7 +53,7 @@ func BenchmarkTable2MackeyGlass(b *testing.B) {
 	sc := experiments.Tiny()
 	var last *experiments.Table2Result
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Table2(sc, 42)
+		res, err := experiments.Table2(context.Background(), sc, 42)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -72,7 +74,7 @@ func BenchmarkTable3Sunspots(b *testing.B) {
 	sc := experiments.Tiny()
 	var last *experiments.Table3Result
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Table3(sc, 42, nil)
+		res, err := experiments.Table3(context.Background(), sc, 42, nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -93,7 +95,7 @@ func BenchmarkTable3Sunspots(b *testing.B) {
 func BenchmarkFigure1RuleDiagram(b *testing.B) {
 	sc := experiments.Tiny()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Figure1(sc, 42); err != nil {
+		if _, err := experiments.Figure1(context.Background(), sc, 42); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -105,7 +107,7 @@ func BenchmarkFigure2UnusualTide(b *testing.B) {
 	sc := experiments.Tiny()
 	var last *experiments.Figure2Result
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Figure2(sc, 42)
+		res, err := experiments.Figure2(context.Background(), sc, 42)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -125,7 +127,7 @@ func BenchmarkAblations(b *testing.B) {
 	sc := experiments.Tiny()
 	var last *experiments.AblationResult
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Ablations(sc, 42)
+		res, err := experiments.Ablations(context.Background(), sc, 42)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -149,7 +151,7 @@ func BenchmarkTradeoffSweep(b *testing.B) {
 	sc := experiments.Tiny()
 	var last *experiments.TradeoffResult
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Tradeoff(sc, 42)
+		res, err := experiments.Tradeoff(context.Background(), sc, 42)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -166,7 +168,7 @@ func BenchmarkTradeoffSweep(b *testing.B) {
 func BenchmarkHorizonStability(b *testing.B) {
 	sc := experiments.Tiny()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.HorizonStability(sc, 42); err != nil {
+		if _, err := experiments.HorizonStability(context.Background(), sc, 42); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -176,7 +178,7 @@ func BenchmarkHorizonStability(b *testing.B) {
 func BenchmarkNoiseRobustness(b *testing.B) {
 	sc := experiments.Tiny()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.NoiseRobustness(sc, 42); err != nil {
+		if _, err := experiments.NoiseRobustness(context.Background(), sc, 42); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -188,7 +190,7 @@ func BenchmarkMichiganVsPittsburgh(b *testing.B) {
 	sc := experiments.Tiny()
 	var last *experiments.ApproachResult
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.MichiganVsPittsburgh(sc, 42)
+		res, err := experiments.MichiganVsPittsburgh(context.Background(), sc, 42)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -212,7 +214,7 @@ func BenchmarkGeneralizationLorenz(b *testing.B) {
 	sc := experiments.Tiny()
 	var last *experiments.GeneralizationResult
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Generalization(sc, 42)
+		res, err := experiments.Generalization(context.Background(), sc, 42)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -252,7 +254,7 @@ func benchMultiRun(b *testing.B, parallelism int) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.MultiRun(cfg, train); err != nil {
+		if _, err := core.MultiRun(context.Background(), cfg, train); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -403,7 +405,7 @@ func BenchmarkEngineBatch(b *testing.B) {
 	rules := benchEngineRules(b, ds, engineBenchBatch)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		ev.EvaluateAll(rules[i*engineBenchBatch : (i+1)*engineBenchBatch])
+		ev.EvaluateAll(context.Background(), rules[i*engineBenchBatch:(i+1)*engineBenchBatch])
 	}
 }
 
@@ -584,7 +586,7 @@ func BenchmarkGenerationStep(b *testing.B) {
 	cfg := core.Default(24)
 	cfg.PopSize = 100
 	cfg.Generations = 0
-	cfg.Workers = 1
+	cfg.Runtime.Workers = 1
 	ex, err := core.NewExecution(cfg, ds)
 	if err != nil {
 		b.Fatal(err)
@@ -601,7 +603,7 @@ func BenchmarkRuleSetPredict(b *testing.B) {
 	ds := benchTrainDataset(b, 3000, 24)
 	ev := core.NewEvaluator(ds, 0.5, 0, 1e-8, 1)
 	pop := core.InitStratified(ds, 200)
-	ev.EvaluateAll(pop)
+	ev.EvaluateAll(context.Background(), pop)
 	rs := core.NewRuleSet(24)
 	rs.Add(pop...)
 	pattern := ds.Inputs[42]

@@ -17,12 +17,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 
-	"repro/internal/engine"
+	"repro/forecast"
 	"repro/internal/experiments"
 )
 
@@ -43,7 +46,7 @@ func main() {
 		tiny       = flag.Bool("tiny", false, "use the unit-test scale (fast smoke run)")
 		seed       = flag.Int64("seed", 42, "base RNG seed")
 	)
-	ef := engine.RegisterFlags(flag.CommandLine) // -shards, -window, -rebalance
+	ef := forecast.RegisterFlags(flag.CommandLine) // -shards, -window, -rebalance
 	flag.Parse()
 
 	sc := experiments.Quick()
@@ -57,12 +60,11 @@ func main() {
 		// Route every rule evaluation through the sharded engine;
 		// bit-identical to the single-index path at any shard count,
 		// window or rebalancing history.
-		opt := ef.Options()
-		sc.EngineShards = opt.Shards
+		sc.EngineShards = ef.Shards()
 		if sc.EngineShards == 0 {
 			sc.EngineShards = runtime.GOMAXPROCS(0)
 		}
-		sc.EngineRebalance = opt.Rebalance
+		sc.EngineRebalance = ef.Rebalance()
 		sc.EngineWindow = ef.Window()
 	}
 
@@ -76,34 +78,44 @@ func main() {
 		os.Exit(2)
 	}
 
+	// Ctrl-C cancels the in-flight experiment at its next generation —
+	// the paper's full protocol runs for hours, and every harness is
+	// context-aware end to end.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	fail := func(err error) {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "experiments: interrupted")
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 
 	if *all || *table == 1 {
-		res, err := experiments.Table1(sc, *seed, nil)
+		res, err := experiments.Table1(ctx, sc, *seed, nil)
 		if err != nil {
 			fail(err)
 		}
 		fmt.Println(res.Format())
 	}
 	if *all || *table == 2 {
-		res, err := experiments.Table2(sc, *seed)
+		res, err := experiments.Table2(ctx, sc, *seed)
 		if err != nil {
 			fail(err)
 		}
 		fmt.Println(res.Format())
 	}
 	if *all || *table == 3 {
-		res, err := experiments.Table3(sc, *seed, nil)
+		res, err := experiments.Table3(ctx, sc, *seed, nil)
 		if err != nil {
 			fail(err)
 		}
 		fmt.Println(res.Format())
 	}
 	if *all || *figure == 1 {
-		res, err := experiments.Figure1(sc, *seed)
+		res, err := experiments.Figure1(ctx, sc, *seed)
 		if err != nil {
 			fail(err)
 		}
@@ -111,56 +123,56 @@ func main() {
 		fmt.Println(res.Rendered)
 	}
 	if *all || *figure == 2 {
-		res, err := experiments.Figure2(sc, *seed)
+		res, err := experiments.Figure2(ctx, sc, *seed)
 		if err != nil {
 			fail(err)
 		}
 		fmt.Println(res.Rendered)
 	}
 	if *all || *ablations {
-		res, err := experiments.Ablations(sc, *seed)
+		res, err := experiments.Ablations(ctx, sc, *seed)
 		if err != nil {
 			fail(err)
 		}
 		fmt.Println(res.Format())
 	}
 	if (*all && *extras) || *tradeoff {
-		res, err := experiments.Tradeoff(sc, *seed)
+		res, err := experiments.Tradeoff(ctx, sc, *seed)
 		if err != nil {
 			fail(err)
 		}
 		fmt.Println(res.Format())
 	}
 	if (*all && *extras) || *horizons {
-		res, err := experiments.HorizonStability(sc, *seed)
+		res, err := experiments.HorizonStability(ctx, sc, *seed)
 		if err != nil {
 			fail(err)
 		}
 		fmt.Println(res.Format())
 	}
 	if (*all && *extras) || *noise {
-		res, err := experiments.NoiseRobustness(sc, *seed)
+		res, err := experiments.NoiseRobustness(ctx, sc, *seed)
 		if err != nil {
 			fail(err)
 		}
 		fmt.Println(res.Format())
 	}
 	if (*all && *extras) || *approaches {
-		res, err := experiments.MichiganVsPittsburgh(sc, *seed)
+		res, err := experiments.MichiganVsPittsburgh(ctx, sc, *seed)
 		if err != nil {
 			fail(err)
 		}
 		fmt.Println(res.Format())
 	}
 	if (*all && *extras) || *general {
-		res, err := experiments.Generalization(sc, *seed)
+		res, err := experiments.Generalization(ctx, sc, *seed)
 		if err != nil {
 			fail(err)
 		}
 		fmt.Println(res.Format())
 	}
 	if (*all && *extras) || *stream {
-		res, err := experiments.WindowedStream(sc, *seed)
+		res, err := experiments.WindowedStream(ctx, sc, *seed)
 		if err != nil {
 			fail(err)
 		}

@@ -7,18 +7,22 @@
 //	tsforecast eval -in series.csv -rules rules.json -metric rmse
 //
 // generate synthesizes one of the three workload series; train evolves
-// a rule set on a CSV series; predict prints per-pattern predictions
-// (with abstentions marked); eval scores a rule set.
+// a rule set on a CSV series through the public forecast facade (and
+// can be interrupted with Ctrl-C, saving the best-so-far system);
+// predict prints per-pattern predictions (with abstentions marked);
+// eval scores a rule set.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
-	"repro/internal/core"
-	"repro/internal/engine"
+	"repro/forecast"
 	"repro/internal/metrics"
 	"repro/internal/plot"
 	"repro/internal/series"
@@ -117,7 +121,7 @@ func cmdTrain(args []string) error {
 	coverage := fs.Float64("coverage", 0.98, "training coverage target")
 	emax := fs.Float64("emax", 0, "EMAX (0 = 10% of target range)")
 	seed := fs.Int64("seed", 1, "RNG seed")
-	ef := engine.RegisterFlags(fs) // -shards, -window, -rebalance
+	fl := forecast.RegisterFlags(fs) // -shards, -window, -rebalance
 	out := fs.String("out", "rules.json", "output rule-set path")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -125,50 +129,63 @@ func cmdTrain(args []string) error {
 	if *in == "" {
 		return fmt.Errorf("train: -in is required")
 	}
-	s, err := series.LoadCSV(*in)
+	ds, err := forecast.LoadCSV(*in, *d, *horizon)
 	if err != nil {
 		return err
 	}
-	ds, err := series.Window(s, *d, *horizon)
+
+	opts := []forecast.Option{
+		forecast.WithHorizon(*horizon),
+		forecast.WithPopulation(*pop),
+		forecast.WithGenerations(*gens),
+		forecast.WithMultiRun(*execs),
+		forecast.WithSeed(*seed),
+	}
+	if *coverage > 0 && *coverage <= 1 {
+		opts = append(opts, forecast.WithCoverageTarget(*coverage))
+	} // outside (0,1]: run every execution (no early stop)
+	if *emax > 0 {
+		opts = append(opts, forecast.WithEMax(*emax))
+	}
+	// Sharded, batched evaluation engine with a result cache shared
+	// across the accumulated executions (empty when no engine flag was
+	// passed). Results are bit-identical to the single-index path at
+	// any shard count, window or rebalancing history.
+	opts = append(opts, fl.Options()...)
+	f, err := forecast.New(opts...)
 	if err != nil {
 		return err
 	}
-	base := core.Default(*d)
-	base.Horizon = *horizon
-	base.PopSize = *pop
-	base.Generations = *gens
-	base.EMax = *emax
-	base.Seed = *seed
-	if ef.Enabled() {
-		// Sharded, batched evaluation engine with a result cache
-		// shared across the accumulated executions. Results are
-		// bit-identical to the single-index path at any shard count,
-		// window or rebalancing history.
-		eng := engine.New(ds, ef.Options())
-		if w := ef.Window(); w > 0 {
-			// Sliding-window training: keep only the newest w patterns
-			// and compact so the dataset is exactly the window.
-			if evicted := eng.Window(w); evicted > 0 {
-				eng.Compact()
-				fmt.Printf("window %d: evicted %d older patterns, training on %d live\n",
-					w, evicted, eng.LiveLen())
-			}
-		}
-		eng.Configure(&base)
+
+	// Ctrl-C cancels the evolution at its next generation; the
+	// best-so-far system is still saved.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	loaded := ds.Len() // Fit hands the dataset to the engine, which trims it in place
+	fitErr := f.Fit(ctx, ds)
+	if fitErr != nil && !errors.Is(fitErr, context.Canceled) {
+		return fitErr
 	}
-	res, err := core.MultiRun(core.MultiRunConfig{
-		Base:           base,
-		CoverageTarget: *coverage,
-		MaxExecutions:  *execs,
-	}, ds)
-	if err != nil {
+	if st, ok := f.StoreStats(); ok && loaded > st.Live {
+		fmt.Printf("window %d: evicted %d older patterns, training on %d live\n",
+			st.Live, loaded-st.Live, st.Live)
+	}
+	if !f.Fitted() {
+		// Cancelled before any execution produced rules: nothing to save.
+		fmt.Println("interrupted before any execution completed; nothing saved")
+		return nil
+	}
+	if err := f.RuleSet().Save(*out); err != nil {
 		return err
 	}
-	if err := res.RuleSet.Save(*out); err != nil {
-		return err
+	stats := f.Stats()
+	if errors.Is(fitErr, context.Canceled) {
+		fmt.Printf("interrupted: saved best-so-far system (%d rules over %d executions) to %s\n",
+			stats.Rules, stats.Executions, *out)
+		return nil
 	}
 	fmt.Printf("trained %d rules over %d executions; training coverage %.1f%%; saved to %s\n",
-		res.RuleSet.Len(), len(res.Executions), 100*res.Coverage, *out)
+		stats.Rules, stats.Executions, 100*stats.Coverage, *out)
 	return nil
 }
 
@@ -184,15 +201,11 @@ func cmdPredict(args []string) error {
 	if *in == "" {
 		return fmt.Errorf("predict: -in is required")
 	}
-	s, err := series.LoadCSV(*in)
+	rs, err := forecast.LoadRuleSet(*rulesPath)
 	if err != nil {
 		return err
 	}
-	rs, err := core.Load(*rulesPath)
-	if err != nil {
-		return err
-	}
-	ds, err := series.Window(s, rs.D, *horizon)
+	ds, err := forecast.LoadCSV(*in, rs.D, *horizon)
 	if err != nil {
 		return err
 	}
@@ -229,7 +242,7 @@ func cmdForecast(args []string) error {
 	if err != nil {
 		return err
 	}
-	rs, err := core.Load(*rulesPath)
+	rs, err := forecast.LoadRuleSet(*rulesPath)
 	if err != nil {
 		return err
 	}
@@ -259,15 +272,11 @@ func cmdAnalyze(args []string) error {
 	if *in == "" {
 		return fmt.Errorf("analyze: -in is required")
 	}
-	s, err := series.LoadCSV(*in)
+	rs, err := forecast.LoadRuleSet(*rulesPath)
 	if err != nil {
 		return err
 	}
-	rs, err := core.Load(*rulesPath)
-	if err != nil {
-		return err
-	}
-	ds, err := series.Window(s, rs.D, *horizon)
+	ds, err := forecast.LoadCSV(*in, rs.D, *horizon)
 	if err != nil {
 		return err
 	}
@@ -298,15 +307,11 @@ func cmdEval(args []string) error {
 	if *in == "" {
 		return fmt.Errorf("eval: -in is required")
 	}
-	s, err := series.LoadCSV(*in)
+	rs, err := forecast.LoadRuleSet(*rulesPath)
 	if err != nil {
 		return err
 	}
-	rs, err := core.Load(*rulesPath)
-	if err != nil {
-		return err
-	}
-	ds, err := series.Window(s, rs.D, *horizon)
+	ds, err := forecast.LoadCSV(*in, rs.D, *horizon)
 	if err != nil {
 		return err
 	}

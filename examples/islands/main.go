@@ -1,18 +1,19 @@
 // Islands: the island-model extension of the paper's multi-execution
-// scheme. Populations evolve concurrently and periodically migrate
-// their best rules around a ring; the merged system is compared with
-// (a) the paper's independent executions and (b) a single large run,
-// all at the same total generation budget. Results are bit-identical
-// for any parallelism degree thanks to split RNG streams.
+// scheme, expressed as three Forecaster configurations. Populations
+// evolve concurrently and periodically migrate their best rules
+// around a ring; the merged system is compared with (a) the paper's
+// independent executions and (b) a single large run, all at the same
+// total generation budget. Results are bit-identical for any
+// parallelism degree thanks to split RNG streams.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
-	"runtime"
 	"time"
 
-	"repro/internal/core"
+	"repro/forecast"
 	"repro/internal/metrics"
 	"repro/internal/series"
 )
@@ -22,11 +23,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	train, err := series.WindowEmbed(trainSeries, 4, 6, 50)
+	train, err := forecast.Embed(trainSeries, 4, 6, 50)
 	if err != nil {
 		log.Fatal(err)
 	}
-	test, err := series.WindowEmbed(testSeries, 4, 6, 50)
+	test, err := forecast.Embed(testSeries, 4, 6, 50)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -36,80 +37,58 @@ func main() {
 		totalGens = 12000 // budget shared by every configuration
 		islands   = 4
 	)
-	base := core.Default(train.D)
-	base.Horizon = train.Horizon
-	base.PopSize = popSize
-	base.Seed = 99
+	common := []forecast.Option{
+		forecast.WithPopulation(popSize),
+		forecast.WithSeed(99),
+	}
 
-	score := func(name string, rs *core.RuleSet, elapsed time.Duration) {
-		pred, mask := rs.PredictDataset(test)
+	run := func(name string, opts ...forecast.Option) *forecast.Forecaster {
+		f, err := forecast.New(append(append([]forecast.Option{}, common...), opts...)...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		start := time.Now()
+		if err := f.Fit(context.Background(), train); err != nil {
+			log.Fatal(err)
+		}
+		pred, mask := f.PredictDataset(test)
 		nmse, cov, err := metrics.MaskedNMSE(pred, test.Targets, mask)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("%-28s %8v  rules=%-4d coverage=%5.1f%%  NMSE=%.4f\n",
-			name, elapsed.Round(time.Millisecond), rs.Len(), 100*cov, nmse)
+			name, time.Since(start).Round(time.Millisecond), f.Stats().Rules, 100*cov, nmse)
+		return f
 	}
 
 	// (a) One long execution.
-	cfg := base
-	cfg.Generations = totalGens
-	start := time.Now()
-	ex, err := core.NewExecution(cfg, train)
-	if err != nil {
-		log.Fatal(err)
-	}
-	ex.Run()
-	single := core.NewRuleSet(train.D)
-	single.Add(ex.ValidRules()...)
-	score("single execution", single, time.Since(start))
+	run("single execution", forecast.WithGenerations(totalGens))
 
 	// (b) The paper's independent executions (islands with no talk).
-	cfg = base
-	cfg.Generations = totalGens / islands
-	start = time.Now()
-	multi, err := core.MultiRun(core.MultiRunConfig{
-		Base:           cfg,
-		CoverageTarget: 2, // run every execution
-		MaxExecutions:  islands,
-		Parallelism:    runtime.GOMAXPROCS(0),
-	}, train)
-	if err != nil {
-		log.Fatal(err)
-	}
-	score("independent executions", multi.RuleSet, time.Since(start))
+	run("independent executions",
+		forecast.WithGenerations(totalGens/islands),
+		forecast.WithMultiRun(islands))
 
 	// (c) Island model with ring migration.
-	cfg = base
-	cfg.Generations = totalGens / islands
-	start = time.Now()
-	isl, err := core.RunIslands(core.IslandConfig{
-		Base:              cfg,
-		Islands:           islands,
-		MigrationInterval: cfg.Generations / 6,
-		Migrants:          2,
-		Parallelism:       runtime.GOMAXPROCS(0),
-	}, train)
-	if err != nil {
-		log.Fatal(err)
-	}
-	score("island model (ring)", isl.RuleSet, time.Since(start))
-	fmt.Printf("\nisland migrations performed: %d\n", isl.Migrations)
+	isl := run("island model (ring)",
+		forecast.WithGenerations(totalGens/islands),
+		forecast.WithIslands(islands, totalGens/islands/6, 2))
+	fmt.Printf("\nisland migrations performed: %d\n", isl.Stats().Migrations)
 
 	// Determinism check: islands at parallelism 1 must match.
-	isl1, err := core.RunIslands(core.IslandConfig{
-		Base:              cfg,
-		Islands:           islands,
-		MigrationInterval: cfg.Generations / 6,
-		Migrants:          2,
-		Parallelism:       1,
-	}, train)
+	isl1, err := forecast.New(append(append([]forecast.Option{}, common...),
+		forecast.WithGenerations(totalGens/islands),
+		forecast.WithIslands(islands, totalGens/islands/6, 2),
+		forecast.WithParallelism(1))...)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if isl1.RuleSet.Len() != isl.RuleSet.Len() {
+	if err := isl1.Fit(context.Background(), train); err != nil {
+		log.Fatal(err)
+	}
+	if isl1.Stats().Rules != isl.Stats().Rules {
 		log.Fatalf("parallelism changed the island result: %d vs %d rules",
-			isl1.RuleSet.Len(), isl.RuleSet.Len())
+			isl1.Stats().Rules, isl.Stats().Rules)
 	}
 	fmt.Println("parallel == serial island results verified.")
 }

@@ -4,10 +4,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/core"
+	"repro/forecast"
 	"repro/internal/metrics"
 	"repro/internal/neural"
 	"repro/internal/series"
@@ -19,30 +20,30 @@ func main() {
 		log.Fatal(err)
 	}
 	for _, horizon := range []int{50, 85} {
-		train, err := series.WindowEmbed(trainSeries, 4, 6, horizon)
+		train, err := forecast.Embed(trainSeries, 4, 6, horizon)
 		if err != nil {
 			log.Fatal(err)
 		}
-		test, err := series.WindowEmbed(testSeries, 4, 6, horizon)
+		test, err := forecast.Embed(testSeries, 4, 6, horizon)
 		if err != nil {
 			log.Fatal(err)
 		}
 
 		// Rule system.
-		base := core.Default(train.D)
-		base.Horizon = horizon
-		base.PopSize = 50
-		base.Generations = 4000
-		base.Seed = int64(horizon)
-		res, err := core.MultiRun(core.MultiRunConfig{
-			Base:           base,
-			CoverageTarget: 0.95,
-			MaxExecutions:  3,
-		}, train)
+		f, err := forecast.New(
+			forecast.WithPopulation(50),
+			forecast.WithGenerations(4000),
+			forecast.WithMultiRun(3),
+			forecast.WithCoverageTarget(0.95),
+			forecast.WithSeed(int64(horizon)),
+		)
 		if err != nil {
 			log.Fatal(err)
 		}
-		pred, mask := res.RuleSet.PredictDataset(test)
+		if err := f.Fit(context.Background(), train); err != nil {
+			log.Fatal(err)
+		}
+		pred, mask := f.PredictDataset(test)
 		nmseRS, cov, err := metrics.MaskedNMSE(pred, test.Targets, mask)
 		if err != nil {
 			log.Fatal(err)
@@ -83,7 +84,7 @@ func main() {
 		}
 
 		fmt.Printf("horizon %d:\n", horizon)
-		fmt.Printf("  rule system  NMSE %.4f  (coverage %.1f%%, %d rules)\n", nmseRS, 100*cov, res.RuleSet.Len())
+		fmt.Printf("  rule system  NMSE %.4f  (coverage %.1f%%, %d rules)\n", nmseRS, 100*cov, f.Stats().Rules)
 		fmt.Printf("  RAN          NMSE %.4f  (%d units)\n", nmseRAN, ran.Units())
 		fmt.Printf("  MRAN         NMSE %.4f  (%d units)\n\n", nmseMRAN, mran.Units())
 	}

@@ -1,13 +1,14 @@
 // Quickstart: evolve local prediction rules on the Mackey-Glass
 // series, inspect a rule, and forecast held-out data — the minimal
-// end-to-end tour of the public API.
+// end-to-end tour of the public forecast API.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/core"
+	"repro/forecast"
 	"repro/internal/metrics"
 	"repro/internal/plot"
 	"repro/internal/series"
@@ -22,41 +23,43 @@ func main() {
 	}
 
 	// 2. Windowed patterns: 4 inputs spaced 6 steps apart, horizon 50.
-	train, err := series.WindowEmbed(trainSeries, 4, 6, 50)
+	train, err := forecast.Embed(trainSeries, 4, 6, 50)
 	if err != nil {
 		log.Fatal(err)
 	}
-	test, err := series.WindowEmbed(testSeries, 4, 6, 50)
+	test, err := forecast.Embed(testSeries, 4, 6, 50)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// 3. Evolve: Michigan rule population, steady-state with crowding,
 	//    accumulated over executions until 95% training coverage.
-	base := core.Default(train.D)
-	base.Horizon = train.Horizon
-	base.PopSize = 50
-	base.Generations = 4000
-	base.Seed = 7
-	result, err := core.MultiRun(core.MultiRunConfig{
-		Base:           base,
-		CoverageTarget: 0.95,
-		MaxExecutions:  3,
-	}, train)
+	f, err := forecast.New(
+		forecast.WithPopulation(50),
+		forecast.WithGenerations(4000),
+		forecast.WithMultiRun(3),
+		forecast.WithCoverageTarget(0.95),
+		forecast.WithSeed(7),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
+	if err := f.Fit(context.Background(), train); err != nil {
+		log.Fatal(err)
+	}
+	stats := f.Stats()
 	fmt.Printf("evolved %d rules in %d execution(s); training coverage %.1f%%\n",
-		result.RuleSet.Len(), len(result.Executions), 100*result.Coverage)
+		stats.Rules, stats.Executions, 100*stats.Coverage)
 
 	// 4. Inspect the fittest rule (the paper's Figure 1 diagram).
-	result.RuleSet.SortByFitness()
+	rs := f.RuleSet()
+	rs.SortByFitness()
 	fmt.Println("\nfittest rule:")
-	fmt.Print(plot.RenderRule(result.RuleSet.Rules[0], 12))
+	fmt.Print(plot.RenderRule(rs.Rules[0], 12))
 
 	// 5. Forecast the held-out segment; the system abstains where no
 	//    rule matches (the paper's "percentage of prediction").
-	pred, mask := result.RuleSet.PredictDataset(test)
+	pred, mask := f.PredictDataset(test)
 	nmse, coverage, err := metrics.MaskedNMSE(pred, test.Targets, mask)
 	if err != nil {
 		log.Fatal(err)

@@ -1,22 +1,21 @@
-// Streaming: the lifecycle-managed store end to end, as a true
+// Streaming: the facade's lifecycle verbs end to end, as a true
 // sliding window. The rule system evolves on a prefix of the
 // Mackey-Glass series; the remainder then arrives in chunks. Each
 // round first forecasts the incoming chunk (a true out-of-sample,
-// prequential test), then slides the window: the chunk's patterns are
-// appended (routed to the emptiest shard, one index rebuild), the
-// oldest patterns beyond the window cap are evicted (tombstoned, then
-// compacted away so the training set is exactly the window), the
-// shard layout is rebalanced, and the system retrains on the window
-// through the same engine and shared cache — learning the new regime
-// as fast as it forgets the old one.
+// prequential test), then calls Append: the chunk's patterns join the
+// engine-backed store (routed to the emptiest shard, one index
+// rebuild), the oldest patterns beyond the sliding window are evicted
+// and compacted away, the shard layout is rebalanced, and the system
+// retrains on the window through the same engine and shared cache —
+// learning the new regime as fast as it forgets the old one.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/core"
-	"repro/internal/engine"
+	"repro/forecast"
 	"repro/internal/metrics"
 	"repro/internal/series"
 )
@@ -29,45 +28,40 @@ const (
 	total   = 3000
 )
 
-// train accumulates a rule system over the engine's current window.
-func train(eng *engine.Engine, seed int64) (*core.RuleSet, error) {
-	base := core.Default(d)
-	base.Horizon = horizon
-	base.PopSize = 40
-	base.Generations = 2500
-	base.Seed = seed
-	eng.Configure(&base)
-	res, err := core.MultiRun(core.MultiRunConfig{
-		Base:           base,
-		CoverageTarget: 0.95,
-		MaxExecutions:  2,
-	}, eng.Data())
-	if err != nil {
-		return nil, err
-	}
-	return res.RuleSet, nil
-}
-
 func main() {
+	ctx := context.Background()
 	s, err := series.MackeyGlass(series.DefaultMackeyGlass(total))
 	if err != nil {
 		log.Fatal(err)
 	}
 	values := s.Values
 
-	ds, err := series.Window(series.New("mg/prefix", values[:prefix]), d, horizon)
+	ds, err := forecast.Window(series.New("mg/prefix", values[:prefix]), d, horizon)
 	if err != nil {
 		log.Fatal(err)
 	}
 	window := ds.Len() // live-pattern cap: the training set never outgrows the prefix
-	eng := engine.New(ds, engine.Options{Shards: 4, Rebalance: true})
-	fmt.Printf("prefix: %d samples → window of %d patterns across %d shards %v\n",
-		prefix, window, eng.P(), eng.ShardSizes())
 
-	rs, err := train(eng, 1)
+	f, err := forecast.New(
+		forecast.WithPopulation(40),
+		forecast.WithGenerations(2500),
+		forecast.WithMultiRun(2),
+		forecast.WithCoverageTarget(0.95),
+		forecast.WithSeed(1),
+		forecast.WithEngine(4),
+		forecast.WithSharedCache(),
+		forecast.WithSlidingWindow(window),
+		forecast.WithRebalance(),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
+	if err := f.Fit(ctx, ds); err != nil {
+		log.Fatal(err)
+	}
+	st, _ := f.StoreStats()
+	fmt.Printf("prefix: %d samples → window of %d patterns across %d shards\n",
+		prefix, st.Live, st.Shards)
 
 	totalEvicted := 0
 	for grown, round := prefix, 1; grown < total; round++ {
@@ -78,8 +72,8 @@ func main() {
 		inputs, targets := series.TailPatterns(values[:next], grown, d, horizon)
 
 		// Forecast the incoming chunk before training ever sees it.
-		test := &series.Dataset{Inputs: inputs, Targets: targets, D: d, Horizon: horizon}
-		pred, mask := rs.PredictDataset(test)
+		test := &forecast.Dataset{Inputs: inputs, Targets: targets, D: d, Horizon: horizon}
+		pred, mask := f.PredictDataset(test)
 		rmse, cov, err := metrics.MaskedRMSE(pred, targets, mask)
 		if err != nil {
 			log.Fatal(err)
@@ -87,29 +81,24 @@ func main() {
 		fmt.Printf("round %d: forecast %3d new patterns  rmse=%.4f  coverage=%4.1f%%\n",
 			round, len(inputs), rmse, 100*cov)
 
-		// Slide the window: append the chunk, evict what no longer
-		// fits, compact the tombstones away (the training set is now
-		// exactly the newest `window` patterns) and rebalance. Every
-		// cached evaluation from the old window has expired with the
-		// epoch.
-		if err := eng.Append(inputs, targets); err != nil {
+		// Slide the window and retrain in one verb: Append adds the
+		// chunk, evicts what the window no longer holds, compacts the
+		// tombstones away, rebalances and refits through the same
+		// engine. Every cached evaluation from the old window has
+		// expired with the epoch.
+		before, _ := f.StoreStats()
+		if err := f.Append(ctx, inputs, targets); err != nil {
 			log.Fatal(err)
 		}
-		evicted := eng.Window(window)
-		eng.Compact()
+		st, _ := f.StoreStats()
+		evicted := before.Live + len(inputs) - st.Live
 		totalEvicted += evicted
-		lo, hi := eng.LiveSpread()
 		fmt.Printf("round %d: window %d  +%d new  -%d evicted  live=%d  shards=%d (live %d..%d)  epoch=%d\n",
-			round, window, len(inputs), evicted, eng.LiveLen(), eng.P(), lo, hi, eng.Epoch())
-
-		// Retrain on the slid window through the same engine.
-		if rs, err = train(eng, int64(round+1)); err != nil {
-			log.Fatal(err)
-		}
+			round, window, len(inputs), evicted, st.Live, st.Shards, st.MinLive, st.MaxLive, st.Epoch)
 		grown = next
 	}
 
-	hits, misses := eng.Cache().Stats()
+	st, _ = f.StoreStats()
 	fmt.Printf("done: %d rules over a %d-pattern window (%d patterns evicted in total); shared cache %d hits / %d misses\n",
-		rs.Len(), eng.LiveLen(), totalEvicted, hits, misses)
+		f.Stats().Rules, st.Live, totalEvicted, st.CacheHits, st.CacheMisses)
 }

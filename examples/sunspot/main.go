@@ -4,11 +4,12 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
+	"repro/forecast"
 	"repro/internal/arma"
-	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/neural"
 	"repro/internal/series"
@@ -23,11 +24,11 @@ func main() {
 	fmt.Printf("training months: %d, validation months: %d\n\n", trainSeries.Len(), valSeries.Len())
 
 	for _, horizon := range []int{1, 8, 18} {
-		train, err := series.Window(trainSeries, d, horizon)
+		train, err := forecast.Window(trainSeries, d, horizon)
 		if err != nil {
 			log.Fatal(err)
 		}
-		val, err := series.Window(valSeries, d, horizon)
+		val, err := forecast.Window(valSeries, d, horizon)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -36,23 +37,23 @@ func main() {
 		// residual a viable rule may have) is set to 20% of the output
 		// span — the Table 3 harness setting — and outputs are clamped
 		// to the observed range.
-		base := core.Default(d)
-		base.Horizon = horizon
-		base.PopSize = 50
-		base.Generations = 4000
-		base.Seed = int64(horizon)
 		tLo, tHi := train.TargetRange()
-		base.EMax = 0.2 * (tHi - tLo)
-		res, err := core.MultiRun(core.MultiRunConfig{
-			Base:           base,
-			CoverageTarget: 0.95,
-			MaxExecutions:  6,
-		}, train)
+		f, err := forecast.New(
+			forecast.WithPopulation(50),
+			forecast.WithGenerations(4000),
+			forecast.WithMultiRun(6),
+			forecast.WithCoverageTarget(0.95),
+			forecast.WithSeed(int64(horizon)),
+			forecast.WithEMax(0.2*(tHi-tLo)),
+		)
 		if err != nil {
 			log.Fatal(err)
 		}
-		res.RuleSet.SetClamp(tLo-0.1*(tHi-tLo), tHi+0.1*(tHi-tLo))
-		pred, mask := res.RuleSet.PredictDataset(val)
+		if err := f.Fit(context.Background(), train); err != nil {
+			log.Fatal(err)
+		}
+		f.RuleSet().SetClamp(tLo-0.1*(tHi-tLo), tHi+0.1*(tHi-tLo))
+		pred, mask := f.PredictDataset(val)
 		eRS, cov, err := metrics.MaskedGalvan(pred, val.Targets, mask, horizon)
 		if err != nil {
 			log.Fatal(err)
@@ -111,7 +112,7 @@ func main() {
 		}
 
 		fmt.Printf("horizon %d:\n", horizon)
-		fmt.Printf("  rule system   %.5f  (coverage %.1f%%, %d rules)\n", eRS, 100*cov, res.RuleSet.Len())
+		fmt.Printf("  rule system   %.5f  (coverage %.1f%%, %d rules)\n", eRS, 100*cov, f.Stats().Rules)
 		fmt.Printf("  feed-forward  %.5f\n", eFF)
 		fmt.Printf("  recurrent     %.5f\n", eRec)
 		fmt.Printf("  AR(12)        %.5f\n\n", eAR)

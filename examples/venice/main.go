@@ -5,10 +5,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/core"
+	"repro/forecast"
 	"repro/internal/metrics"
 	"repro/internal/plot"
 	"repro/internal/series"
@@ -26,36 +27,36 @@ func main() {
 	fmt.Printf("train: %s\n", trainSeries.Summary())
 	fmt.Printf("val:   %s\n", valSeries.Summary())
 
-	train, err := series.Window(trainSeries, d, horizon)
+	train, err := forecast.Window(trainSeries, d, horizon)
 	if err != nil {
 		log.Fatal(err)
 	}
-	val, err := series.Window(valSeries, d, horizon)
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	base := core.Default(d)
-	base.Horizon = horizon
-	base.PopSize = 60
-	base.Generations = 5000
-	base.Seed = 42
-	res, err := core.MultiRun(core.MultiRunConfig{
-		Base:           base,
-		CoverageTarget: 0.98,
-		MaxExecutions:  3,
-	}, train)
+	val, err := forecast.Window(valSeries, d, horizon)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	pred, mask := res.RuleSet.PredictDataset(val)
+	f, err := forecast.New(
+		forecast.WithPopulation(60),
+		forecast.WithGenerations(5000),
+		forecast.WithMultiRun(3),
+		forecast.WithCoverageTarget(0.98),
+		forecast.WithSeed(42),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Fit(context.Background(), train); err != nil {
+		log.Fatal(err)
+	}
+
+	pred, mask := f.PredictDataset(val)
 	rmse, cov, err := metrics.MaskedRMSE(pred, val.Targets, mask)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nrules=%d  validation coverage=%.1f%%  RMSE=%.2f cm\n",
-		res.RuleSet.Len(), 100*cov, rmse)
+		f.Stats().Rules, 100*cov, rmse)
 
 	// Zoom into the most unusual tide of the validation window.
 	peak := 0

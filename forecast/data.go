@@ -1,0 +1,49 @@
+package forecast
+
+import (
+	"repro/internal/series"
+)
+
+// Dataset construction helpers: the load → window → split boilerplate
+// that every binary and example used to hand-roll lives here once.
+// They are thin, deterministic wrappers over internal/series, returned
+// in the facade's vocabulary so a consumer never has to assemble a
+// Dataset by hand.
+
+// LoadCSV reads a one-column CSV series and windows it into a
+// (D, horizon) dataset: Inputs[i] holds d consecutive values,
+// Targets[i] the value horizon steps after the window.
+func LoadCSV(path string, d, horizon int) (*Dataset, error) {
+	s, err := series.LoadCSV(path)
+	if err != nil {
+		return nil, err
+	}
+	return series.Window(s, d, horizon)
+}
+
+// Window slides a (D, horizon) window over the series. Patterns share
+// backing storage with the series, so callers must not mutate them.
+func Window(s *Series, d, horizon int) (*Dataset, error) {
+	return series.Window(s, d, horizon)
+}
+
+// Embed windows the series with `spacing` steps between the d inputs
+// (the delay embedding the Mackey-Glass benchmarks use: D=4,
+// spacing=6) and the given horizon.
+func Embed(s *Series, d, spacing, horizon int) (*Dataset, error) {
+	return series.WindowEmbed(s, d, spacing, horizon)
+}
+
+// Split windows the series and splits the patterns chronologically:
+// the trailing testFraction becomes the test set. The split is on
+// patterns, not raw samples, so no test information leaks into
+// training windows beyond the unavoidable input overlap at the
+// boundary.
+func Split(s *Series, d, horizon int, testFraction float64) (train, test *Dataset, err error) {
+	ds, err := series.Window(s, d, horizon)
+	if err != nil {
+		return nil, nil, err
+	}
+	train, test = ds.SplitFraction(1 - testFraction)
+	return train, test, nil
+}

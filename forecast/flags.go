@@ -1,11 +1,11 @@
-package engine
+package forecast
 
 import "flag"
 
-// Flags bundles the engine's CLI knobs so every binary (tsforecast,
-// experiments) registers -shards/-window/-rebalance once, with one
-// shared spelling and meaning, instead of each re-declaring and
-// re-interpreting them.
+// Flags bundles the facade's engine-related CLI knobs so every binary
+// (tsforecast, experiments) registers -shards/-window/-rebalance once,
+// with one shared spelling and meaning, instead of each re-declaring
+// and re-interpreting them.
 type Flags struct {
 	shards    *int
 	window    *int
@@ -33,15 +33,13 @@ func (f *Flags) Enabled() bool {
 	return *f.shards != 0 || *f.window > 0 || *f.rebalance
 }
 
-// Options resolves the parsed flags into engine Options. The CLI's
-// "-1 = one per core" spelling maps onto the engine default (0), and
-// everything is clamped in the one shared place.
-func (f *Flags) Options() Options {
-	n := *f.shards
-	if n < 0 {
-		n = 0 // engine default: one shard per core
+// Shards resolves the CLI's "-1 = one per core" spelling onto the
+// facade's (0 = one per core).
+func (f *Flags) Shards() int {
+	if n := *f.shards; n > 0 {
+		return n
 	}
-	return Options{Shards: n, Rebalance: *f.rebalance}.Clamped()
+	return 0
 }
 
 // Window returns the requested sliding-window cap (0 = unbounded).
@@ -50,4 +48,26 @@ func (f *Flags) Window() int {
 		return 0
 	}
 	return *f.window
+}
+
+// Rebalance reports whether adaptive rebalancing was requested.
+func (f *Flags) Rebalance() bool { return *f.rebalance }
+
+// Options resolves the parsed flags into facade options: the sharded
+// engine with one result cache shared across executions, plus the
+// sliding window and rebalancing when requested. Nil when no flag
+// asked for the engine — results are bit-identical either way, the
+// engine is purely a speed knob.
+func (f *Flags) Options() []Option {
+	if !f.Enabled() {
+		return nil
+	}
+	opts := []Option{WithEngine(f.Shards()), WithSharedCache()}
+	if w := f.Window(); w > 0 {
+		opts = append(opts, WithSlidingWindow(w))
+	}
+	if f.Rebalance() {
+		opts = append(opts, WithRebalance())
+	}
+	return opts
 }

@@ -1,0 +1,51 @@
+package forecast
+
+import (
+	"flag"
+	"testing"
+)
+
+// TestFlagsSharedWiring checks the one-place CLI wiring: both
+// binaries register through RegisterFlags, so the flag names and
+// resolution rules cannot drift apart.
+func TestFlagsSharedWiring(t *testing.T) {
+	parse := func(args ...string) *Flags {
+		fs := flag.NewFlagSet("test", flag.ContinueOnError)
+		f := RegisterFlags(fs)
+		if err := fs.Parse(args); err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+
+	if f := parse(); f.Enabled() || f.Options() != nil {
+		t.Fatal("no flags: engine must stay disabled")
+	}
+	if f := parse("-shards", "8"); !f.Enabled() || f.Shards() != 8 {
+		t.Fatalf("-shards 8: Enabled=%v Shards=%d", f.Enabled(), f.Shards())
+	}
+	if f := parse("-shards", "-1"); !f.Enabled() || f.Shards() != 0 {
+		t.Fatalf("-shards -1 must resolve to the per-core default, got %d", f.Shards())
+	}
+	if f := parse("-window", "500"); !f.Enabled() || f.Window() != 500 {
+		t.Fatalf("-window 500: Enabled=%v Window=%d", f.Enabled(), f.Window())
+	}
+	if f := parse("-rebalance"); !f.Enabled() || !f.Rebalance() {
+		t.Fatalf("-rebalance: Enabled=%v Rebalance=%v", f.Enabled(), f.Rebalance())
+	}
+	if f := parse("-window", "-3"); f.Enabled() || f.Window() != 0 {
+		t.Fatalf("negative -window must clamp to unbounded, got %d", f.Window())
+	}
+
+	// The resolved option sets build valid Forecasters.
+	for _, args := range [][]string{
+		{"-shards", "4"},
+		{"-window", "100", "-rebalance"},
+		{"-shards", "-1", "-window", "50"},
+	} {
+		f := parse(args...)
+		if _, err := New(f.Options()...); err != nil {
+			t.Fatalf("New(%v): %v", args, err)
+		}
+	}
+}

@@ -4,6 +4,8 @@
 package repro
 
 import (
+	"context"
+
 	"math"
 	"path/filepath"
 	"testing"
@@ -23,7 +25,7 @@ func trainQuick(t *testing.T, train *series.Dataset, seed int64) *core.RuleSet {
 	base.PopSize = 30
 	base.Generations = 800
 	base.Seed = seed
-	res, err := core.MultiRun(core.MultiRunConfig{
+	res, err := core.MultiRun(context.Background(), core.MultiRunConfig{
 		Base:           base,
 		CoverageTarget: 0.9,
 		MaxExecutions:  2,

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"math"
 	"strings"
 	"testing"
@@ -131,7 +133,7 @@ func TestAnalyzeOnEvolvedSystem(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ex.Run()
+	ex.Run(context.Background())
 	rs := NewRuleSet(3)
 	rs.Add(ex.ValidRules()...)
 	a := rs.Analyze(ds)

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"repro/internal/linalg"
 	"repro/internal/series"
 )
@@ -33,8 +35,12 @@ type Backend interface {
 
 	// MatchBatch answers one whole generation of rules in a single
 	// scheduling pass; out[i] corresponds to rules[i] and each entry
-	// equals MatchIndices(rules[i]).
-	MatchBatch(rules []*Rule) [][]int
+	// equals MatchIndices(rules[i]). The context bounds the parallel
+	// fan-out: when it is cancelled the backend must stop scheduling
+	// promptly, leave no goroutine behind, and return — the result is
+	// then incomplete and the caller must discard it (the Evaluator
+	// checks ctx.Err() before using or caching anything).
+	MatchBatch(ctx context.Context, rules []*Rule) [][]int
 }
 
 // Store widens Backend into a lifecycle-managed training store: data

@@ -35,39 +35,15 @@ type Config struct {
 	Distance    DistanceKind    // phenotypic distance used for replacement
 	Replacement ReplacementKind // who the offspring competes against
 
-	// Parallelism and reproducibility.
-	Workers int   // goroutines for match scans; 0 = GOMAXPROCS
-	Seed    int64 // RNG seed for this execution
+	// Reproducibility.
+	Seed int64 // RNG seed for this execution
 
-	// Index optionally shares a prebuilt match engine across
-	// executions over the same dataset (multi-run waves, islands).
-	// Nil — or an index built over a different dataset — makes the
-	// execution build its own. Purely a speed knob: results are
-	// identical either way.
-	Index *MatchIndex
-
-	// Backend optionally routes every match query through an external
-	// evaluation backend — the sharded, batched engine in
-	// internal/engine — instead of the execution's own single index.
-	// Ignored unless it was built over this execution's dataset.
-	// Purely a speed knob: any backend returns exact matched sets, so
-	// results are bit-identical to the sequential path.
-	//
-	// A backend may additionally be a lifecycle-managed Store
-	// (deletes, sliding windows, compaction, rebalancing); Store()
-	// returns that view. Mutations flow through the same seam appends
-	// do — each bumps the backend's epoch, so every cached evaluation
-	// from an older snapshot expires with it.
-	Backend Backend
-
-	// Cache optionally shares one evaluation-result cache across
-	// executions (multi-run waves, islands, the Pittsburgh baseline).
-	// Nil gives each evaluator its own private cache. Keys embed the
-	// data epoch and evaluator parameters, so sharing never changes
-	// results. Adopted only together with Backend (see
-	// EvalOptions.Cache): without the backend's dataset identity and
-	// epoch, a shared store could leak results across datasets.
-	Cache EvalCache
+	// Runtime holds the execution-machinery knobs — worker counts and
+	// the shared match/cache plumbing. Every Runtime field is a pure
+	// speed knob: results are bit-identical for any setting, unlike
+	// the hyperparameters above. The zero value is always valid and
+	// means "self-contained sequential execution".
+	Runtime Runtime
 }
 
 // DistanceKind selects the phenotypic distance used by crowding
@@ -149,7 +125,6 @@ func Default(d int) Config {
 		CrossoverRate:    1.0,
 		Ridge:            1e-8,
 		Distance:         DistancePrediction,
-		Workers:          0,
 		Seed:             1,
 	}
 }
@@ -161,7 +136,7 @@ func Default(d int) Config {
 // side of the engine through this accessor so they depend only on the
 // core contract, not on internal/engine.
 func (c *Config) Store() Store {
-	s, _ := c.Backend.(Store)
+	s, _ := c.Runtime.Backend.(Store)
 	return s
 }
 
@@ -193,8 +168,6 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("%w: CrossoverRate=%v outside [0,1]", ErrConfig, c.CrossoverRate)
 	case c.Ridge < 0:
 		return fmt.Errorf("%w: Ridge=%v must be non-negative", ErrConfig, c.Ridge)
-	case c.Workers < 0:
-		return fmt.Errorf("%w: Workers=%d must be non-negative", ErrConfig, c.Workers)
 	}
-	return nil
+	return c.Runtime.Validate()
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/rng"
@@ -57,8 +58,8 @@ func NewExecution(cfg Config, data *series.Dataset) (*Execution, error) {
 
 	ex := &Execution{
 		Config: cfg,
-		Eval: NewEvaluatorOpt(data, emax, cfg.FMin, cfg.Ridge, cfg.Workers,
-			EvalOptions{Index: cfg.Index, Backend: cfg.Backend, Cache: cfg.Cache}),
+		Eval: NewEvaluatorOpt(data, emax, cfg.FMin, cfg.Ridge, cfg.Runtime.Workers,
+			EvalOptions{Index: cfg.Runtime.Index, Backend: cfg.Runtime.Backend, Cache: cfg.Runtime.Cache}),
 		src:      rng.New(cfg.Seed),
 		predSpan: hi - lo,
 	}
@@ -83,7 +84,9 @@ func NewExecution(cfg Config, data *series.Dataset) (*Execution, error) {
 	ex.mut = newMutator(cfg.MutationRate, cfg.MutationSpan, cfg.WildcardRate, lagLo, lagHi)
 
 	ex.Pop = InitStratified(data, cfg.PopSize)
-	ex.Eval.EvaluateAll(ex.Pop)
+	// Construction is bounded work (one batch over PopSize rules), so
+	// it is not cancellable; the run loops are where budget goes.
+	ex.Eval.EvaluateAll(context.Background(), ex.Pop)
 	return ex, nil
 }
 
@@ -132,12 +135,21 @@ func (ex *Execution) Step() bool {
 }
 
 // Run performs the configured number of generations and refreshes the
-// final statistics.
-func (ex *Execution) Run() {
+// final statistics. The context is checked between generations: a
+// cancelled or expired context stops the loop promptly and Run returns
+// ctx.Err(), with the population left as a valid best-so-far snapshot
+// (every rule carries a complete evaluation — steps are atomic, so
+// cancellation can never publish a torn individual). A nil error means
+// the full budget was spent.
+func (ex *Execution) Run(ctx context.Context) error {
 	for g := 0; g < ex.Config.Generations; g++ {
+		if ctx.Err() != nil {
+			break
+		}
 		ex.Step()
 	}
 	ex.refreshStats()
+	return ctx.Err()
 }
 
 // refreshStats recomputes the end-of-run aggregate statistics.

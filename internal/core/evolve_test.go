@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"errors"
 	"math"
 	"testing"
@@ -27,7 +29,7 @@ func quickConfig(d int, seed int64) Config {
 	cfg.PopSize = 30
 	cfg.Generations = 400
 	cfg.Seed = seed
-	cfg.Workers = 1
+	cfg.Runtime.Workers = 1
 	return cfg
 }
 
@@ -75,7 +77,7 @@ func TestEvolutionImprovesMeanFitness(t *testing.T) {
 	}
 	ex.refreshStats()
 	before := ex.Stats.MeanFitness
-	ex.Run()
+	ex.Run(context.Background())
 	if ex.Stats.MeanFitness < before {
 		t.Fatalf("mean fitness fell: %v -> %v", before, ex.Stats.MeanFitness)
 	}
@@ -138,7 +140,7 @@ func TestExecutionDeterministicPerSeed(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		ex.Run()
+		ex.Run(context.Background())
 		out := make([]float64, len(ex.Pop))
 		for i, r := range ex.Pop {
 			out[i] = r.Fitness
@@ -170,7 +172,7 @@ func TestValidRulesFiltered(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ex.Run()
+	ex.Run(context.Background())
 	for _, r := range ex.ValidRules() {
 		if r.Fitness <= ex.Config.FMin {
 			t.Fatalf("floor-fitness rule leaked: %+v", r)
@@ -189,7 +191,7 @@ func TestMutationOnlyReproductionPath(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ex.Run()
+	ex.Run(context.Background())
 	if ex.Stats.Generations != cfg.Generations {
 		t.Fatal("mutation-only run did not complete")
 	}
@@ -206,7 +208,7 @@ func TestEvolvedSystemPredictsSine(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ex.Run()
+	ex.Run(context.Background())
 	rs := NewRuleSet(4)
 	rs.Add(ex.ValidRules()...)
 	if rs.Len() == 0 {

@@ -1,6 +1,8 @@
 package core_test
 
 import (
+	"context"
+
 	"fmt"
 	"math"
 
@@ -25,7 +27,7 @@ func Example() {
 	cfg.PopSize = 30
 	cfg.Generations = 2000
 	cfg.Seed = 1
-	res, err := core.MultiRun(core.MultiRunConfig{
+	res, err := core.MultiRun(context.Background(), core.MultiRunConfig{
 		Base:           cfg,
 		CoverageTarget: 0.9,
 		MaxExecutions:  2,

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"encoding/binary"
 	"math"
 
@@ -280,14 +281,22 @@ func (e *Evaluator) CacheStats() (hits, misses int) { return e.cache.Stats() }
 // avoiding nested parallelism). The workers share the match machinery
 // and evaluation cache; cached results are bit-identical to
 // recomputation, so scheduling cannot change outcomes.
-func (e *Evaluator) EvaluateAll(rules []*Rule) {
+//
+// The context bounds the whole pass. On cancellation EvaluateAll
+// returns ctx.Err() promptly and the rules are in a mixed state: some
+// carry fresh evaluations, the rest still hold their prior fields —
+// but never a partial result, so any snapshot the caller keeps is
+// self-consistent.
+func (e *Evaluator) EvaluateAll(ctx context.Context, rules []*Rule) error {
 	if e.backend != nil && len(rules) > 1 {
-		e.EvaluateBatch(rules)
-		return
+		return e.EvaluateBatch(ctx, rules)
 	}
 	serial := *e
 	serial.workers = 1
-	parallel.For(len(rules), e.workers, func(i int) { serial.Evaluate(rules[i]) })
+	// Each iteration is one complete rule evaluation (match, regression
+	// and cache insert are atomic per rule), so stopping between
+	// iterations can never publish a torn result.
+	return parallel.ForCtx(ctx, len(rules), e.workers, func(i int) { serial.Evaluate(rules[i]) })
 }
 
 // EvaluateBatch evaluates a whole generation of rules through the
@@ -298,13 +307,21 @@ func (e *Evaluator) EvaluateAll(rules []*Rule) {
 // selectivity group instead of dispatching rule by rule. Consequent
 // regressions then run in parallel across rules. Results are
 // bit-identical to calling Evaluate on each rule in order.
-func (e *Evaluator) EvaluateBatch(rules []*Rule) {
+//
+// Cancellation discards the batch: a MatchBatch cut short by the
+// context returns incomplete matched sets, so nothing from a cancelled
+// pass is cached or applied — the rules keep their prior fields and
+// EvaluateBatch returns ctx.Err().
+func (e *Evaluator) EvaluateBatch(ctx context.Context, rules []*Rule) error {
 	if e.backend == nil {
 		// No batching substrate: preserve the semantics anyway.
 		for _, r := range rules {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			e.Evaluate(r)
 		}
-		return
+		return nil
 	}
 	keys := make([]string, len(rules))
 	for i, r := range rules {
@@ -327,14 +344,27 @@ func (e *Evaluator) EvaluateBatch(rules []*Rule) {
 		workKeys = append(workKeys, k)
 	}
 	if len(work) > 0 {
-		matched := e.backend.MatchBatch(work)
+		matched := e.backend.MatchBatch(ctx, work)
+		if err := ctx.Err(); err != nil {
+			// The matched sets may be truncated: drop the whole batch on
+			// the floor. Nothing has been cached or applied yet, so the
+			// rules' prior evaluations stay intact.
+			return err
+		}
 		fresh := make([]*EvalResult, len(work))
 		serial := *e
 		serial.workers = 1
-		parallel.For(len(work), e.workers, func(i int) {
+		if parallel.ForCtx(ctx, len(work), e.workers, func(i int) {
 			serial.evalFromMatches(work[i], matched[i])
 			fresh[i] = resultOf(work[i])
-		})
+		}) != nil {
+			// Some regressions ran (and wrote into their work[i] rules),
+			// some did not; refuse to cache or apply any of it. The rules
+			// touched by evalFromMatches hold complete, correct
+			// evaluations — just not the full batch — so a best-so-far
+			// snapshot remains sound.
+			return ctx.Err()
+		}
 		for i, k := range workKeys {
 			e.cache.Put(k, fresh[i])
 			results[k] = fresh[i]
@@ -343,4 +373,5 @@ func (e *Evaluator) EvaluateBatch(rules []*Rule) {
 	for i, r := range rules {
 		results[keys[i]].apply(r)
 	}
+	return nil
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"math"
 	"testing"
 
@@ -153,7 +155,7 @@ func TestEvaluateAll(t *testing.T) {
 	ds := linearDataset(t, 200, 3, 1)
 	ev := NewEvaluator(ds, 1.0, 0, 1e-8, 4)
 	rules := []*Rule{allMatchRule(3), allMatchRule(3), NewRule([]Interval{NewInterval(1e6, 2e6), Wild(), Wild()})}
-	ev.EvaluateAll(rules)
+	ev.EvaluateAll(context.Background(), rules)
 	if rules[0].Fitness != rules[1].Fitness {
 		t.Fatal("identical rules got different fitness")
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/parallel"
@@ -21,6 +22,13 @@ type IslandConfig struct {
 	MigrationInterval int    // generations between migrations
 	Migrants          int    // rules copied to the next island per migration
 	Parallelism       int    // islands evolved concurrently; 0 = GOMAXPROCS
+
+	// OnProgress, when non-nil, is invoked serially (island 0, 1, …)
+	// after every lockstep epoch with each island's snapshot. Any
+	// callback returning false ends the whole run after the current
+	// epoch — the islands' best-so-far populations are still merged.
+	// Purely observational.
+	OnProgress func(island int, p Progress) bool
 }
 
 // Validate checks the island configuration.
@@ -56,7 +64,13 @@ type IslandResult struct {
 // merges every island's valid rules into one RuleSet. Results are
 // deterministic for any parallelism degree: islands advance in
 // lockstep epochs and migration is applied serially in island order.
-func RunIslands(cfg IslandConfig, data *series.Dataset) (*IslandResult, error) {
+//
+// The context is checked between migration epochs and, inside each
+// island, between generations. On cancellation RunIslands returns
+// promptly with BOTH a non-nil result — every island's best-so-far
+// valid rules, merged — and ctx.Err(). Configuration errors still
+// return a nil result.
+func RunIslands(ctx context.Context, cfg IslandConfig, data *series.Dataset) (*IslandResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -65,13 +79,13 @@ func RunIslands(cfg IslandConfig, data *series.Dataset) (*IslandResult, error) {
 	// All islands evolve against the same dataset; share one match
 	// backend (the sharded engine when configured, a single match
 	// index otherwise) instead of building Islands copies.
-	if cfg.Base.Backend == nil {
-		cfg.Base.Index = ensureIndex(cfg.Base.Index, data)
+	if cfg.Base.Runtime.Backend == nil {
+		cfg.Base.Runtime.Index = ensureIndex(cfg.Base.Runtime.Index, data)
 	}
 	for i := range islands {
 		c := cfg.Base
 		c.Seed = seeds[i].Seed()
-		c.Workers = 1 // island-level parallelism only
+		c.Runtime.Workers = 1 // island-level parallelism only
 		ex, err := NewExecution(c, data)
 		if err != nil {
 			return nil, err
@@ -81,19 +95,36 @@ func RunIslands(cfg IslandConfig, data *series.Dataset) (*IslandResult, error) {
 
 	res := &IslandResult{}
 	remaining := cfg.Base.Generations
-	for remaining > 0 {
+	for remaining > 0 && ctx.Err() == nil {
 		epoch := cfg.MigrationInterval
 		if epoch > remaining {
 			epoch = remaining
 		}
-		// Evolve every island for one epoch, concurrently.
+		// Evolve every island for one epoch, concurrently. Each island
+		// checks the context between generations, so a cancelled run
+		// abandons the epoch mid-flight (steps are atomic — every
+		// island is left on a complete generation).
 		parallel.For(cfg.Islands, cfg.Parallelism, func(i int) {
 			for g := 0; g < epoch; g++ {
+				if ctx.Err() != nil {
+					return
+				}
 				islands[i].Step()
 			}
 		})
 		remaining -= epoch
-		if remaining <= 0 {
+		if cfg.OnProgress != nil {
+			stop := false
+			for i, ex := range islands {
+				if !cfg.OnProgress(i, ex.snapshot()) {
+					stop = true
+				}
+			}
+			if stop {
+				break
+			}
+		}
+		if remaining <= 0 || ctx.Err() != nil {
 			break
 		}
 		migrateRing(islands, cfg.Migrants)
@@ -107,7 +138,7 @@ func RunIslands(cfg IslandConfig, data *series.Dataset) (*IslandResult, error) {
 		merged.Add(ex.ValidRules()...)
 	}
 	res.RuleSet = merged
-	return res, nil
+	return res, ctx.Err()
 }
 
 // migrateRing copies each island's top-k rules into the next island,

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"errors"
 	"testing"
 )
@@ -10,7 +12,7 @@ func islandConfig(d int, seed int64) IslandConfig {
 	base.PopSize = 20
 	base.Generations = 300
 	base.Seed = seed
-	base.Workers = 1
+	base.Runtime.Workers = 1
 	return IslandConfig{
 		Base:              base,
 		Islands:           3,
@@ -59,7 +61,7 @@ func TestIslandConfigValidate(t *testing.T) {
 
 func TestRunIslandsProducesRules(t *testing.T) {
 	ds := sineDataset(t, 400, 3)
-	res, err := RunIslands(islandConfig(3, 5), ds)
+	res, err := RunIslands(context.Background(), islandConfig(3, 5), ds)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +88,7 @@ func TestRunIslandsDeterministicAcrossParallelism(t *testing.T) {
 	run := func(par int) *IslandResult {
 		cfg := islandConfig(3, 11)
 		cfg.Parallelism = par
-		res, err := RunIslands(cfg, ds)
+		res, err := RunIslands(context.Background(), cfg, ds)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -170,7 +172,7 @@ func TestRunIslandsBeatsNothing(t *testing.T) {
 	// Sanity: island evolution should produce at least as many valid
 	// rules as one island alone (merged over 3 islands).
 	ds := sineDataset(t, 400, 3)
-	island, err := RunIslands(islandConfig(3, 31), ds)
+	island, err := RunIslands(context.Background(), islandConfig(3, 31), ds)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,7 +180,7 @@ func TestRunIslandsBeatsNothing(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	single.Run()
+	single.Run(context.Background())
 	if island.RuleSet.Len() < len(single.ValidRules()) {
 		t.Fatalf("3 islands produced %d rules, single run %d",
 			island.RuleSet.Len(), len(single.ValidRules()))

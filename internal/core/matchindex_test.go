@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"bytes"
 	"math"
 	"testing"
@@ -118,8 +120,8 @@ func TestSharedIndexIdenticalResults(t *testing.T) {
 		base.PopSize = 20
 		base.Generations = 150
 		base.Seed = 9
-		base.Index = idx
-		res, err := MultiRun(MultiRunConfig{
+		base.Runtime.Index = idx
+		res, err := MultiRun(context.Background(), MultiRunConfig{
 			Base:           base,
 			CoverageTarget: 2,
 			MaxExecutions:  2,

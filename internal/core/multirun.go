@@ -1,7 +1,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"sync"
 
 	"repro/internal/parallel"
 	"repro/internal/rng"
@@ -19,6 +21,19 @@ type MultiRunConfig struct {
 	CoverageTarget float64 // stop once training coverage reaches this (e.g. 0.95); >1 disables early stopping
 	MaxExecutions  int     // hard cap on executions
 	Parallelism    int     // concurrent executions; 0 = GOMAXPROCS
+
+	// OnProgress, when non-nil, is invoked from every execution each
+	// ProgressEvery generations (plus once at each execution's end)
+	// with the execution's index and snapshot. Calls are serialized
+	// across the concurrent wave — fn never runs twice at once — but
+	// may interleave across executions in any order. Returning false
+	// stops that one execution early; the outer coverage loop is
+	// unaffected. Purely observational: the callback cannot change
+	// results it merely watches.
+	OnProgress func(execution int, p Progress) bool
+	// ProgressEvery is the generation stride between OnProgress calls
+	// (<1 is treated as 1). Ignored when OnProgress is nil.
+	ProgressEvery int
 }
 
 // Validate checks the multi-run configuration.
@@ -49,23 +64,35 @@ type MultiRunResult struct {
 // MultiRun executes the paper's outer loop. Executions are launched
 // in waves of cfg.Parallelism; after each wave the accumulated
 // coverage is checked against the target.
-func MultiRun(cfg MultiRunConfig, data *series.Dataset) (*MultiRunResult, error) {
+//
+// The context bounds the whole accumulation: it is checked between
+// waves and, inside every execution, between generations. On
+// cancellation MultiRun returns promptly with BOTH a non-nil result —
+// the best-so-far system: every completed execution's rules plus the
+// valid rules each in-flight execution had evolved by the time it
+// stopped — and ctx.Err(). Configuration errors still return a nil
+// result.
+func MultiRun(ctx context.Context, cfg MultiRunConfig, data *series.Dataset) (*MultiRunResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	seeds := rng.New(cfg.Base.Seed).SplitN(cfg.MaxExecutions)
 	res := &MultiRunResult{RuleSet: NewRuleSet(data.D)}
 	// One match backend serves every execution. With an engine
-	// (cfg.Base.Backend) the executions share its shards and — when
-	// cfg.Base.Cache is set — its result cache; otherwise one
-	// immutable match index is built here and shared by the
+	// (cfg.Base.Runtime.Backend) the executions share its shards and —
+	// when cfg.Base.Runtime.Cache is set — its result cache; otherwise
+	// one immutable match index is built here and shared by the
 	// concurrent waves.
-	if cfg.Base.Backend == nil {
-		cfg.Base.Index = ensureIndex(cfg.Base.Index, data)
+	if cfg.Base.Runtime.Backend == nil {
+		cfg.Base.Runtime.Index = ensureIndex(cfg.Base.Runtime.Index, data)
 	}
 
+	// Serialize progress callbacks across the wave's goroutines so
+	// observers never see two snapshots at once.
+	var progressMu sync.Mutex
+
 	wave := parallel.Workers(cfg.Parallelism)
-	for done := 0; done < cfg.MaxExecutions; {
+	for done := 0; done < cfg.MaxExecutions && ctx.Err() == nil; {
 		n := wave
 		if done+n > cfg.MaxExecutions {
 			n = cfg.MaxExecutions - done
@@ -81,13 +108,25 @@ func MultiRun(cfg MultiRunConfig, data *series.Dataset) (*MultiRunResult, error)
 			c.Seed = seeds[done+i].Seed()
 			// Within a wave each execution occupies one goroutine; keep
 			// the inner match scans serial to avoid oversubscription.
-			c.Workers = 1
+			c.Runtime.Workers = 1
 			ex, err := NewExecution(c, data)
 			if err != nil {
 				outs[i] = runOut{err: err}
 				return
 			}
-			ex.Run()
+			// A cancelled run is not an error here: the execution's
+			// best-so-far rules still join the accumulated system, and
+			// the loop condition surfaces ctx.Err() once the wave drains.
+			if cfg.OnProgress != nil {
+				exec := done + i
+				ex.RunWithProgress(ctx, cfg.ProgressEvery, func(p Progress) bool {
+					progressMu.Lock()
+					defer progressMu.Unlock()
+					return cfg.OnProgress(exec, p)
+				})
+			} else {
+				ex.Run(ctx)
+			}
 			outs[i] = runOut{rules: ex.ValidRules(), stats: ex.Stats}
 		})
 		for _, o := range outs {
@@ -103,5 +142,5 @@ func MultiRun(cfg MultiRunConfig, data *series.Dataset) (*MultiRunResult, error)
 			break
 		}
 	}
-	return res, nil
+	return res, ctx.Err()
 }

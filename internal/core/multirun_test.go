@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"errors"
 	"math"
 	"testing"
@@ -59,7 +61,7 @@ func TestMultiRunValidation(t *testing.T) {
 
 func TestMultiRunAccumulates(t *testing.T) {
 	ds := multiRunDataset(t, 400, 3)
-	res, err := MultiRun(multiRunConfig(3), ds)
+	res, err := MultiRun(context.Background(), multiRunConfig(3), ds)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +88,7 @@ func TestMultiRunStopsAtTarget(t *testing.T) {
 	cfg.CoverageTarget = 0.01
 	cfg.Parallelism = 1
 	cfg.MaxExecutions = 8
-	res, err := MultiRun(cfg, ds)
+	res, err := MultiRun(context.Background(), cfg, ds)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +104,7 @@ func TestMultiRunDeterministicAcrossParallelism(t *testing.T) {
 		cfg.CoverageTarget = 2 // unreachable: always MaxExecutions runs
 		cfg.Parallelism = par
 		cfg.MaxExecutions = 3
-		res, err := MultiRun(cfg, ds)
+		res, err := MultiRun(context.Background(), cfg, ds)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -130,7 +132,7 @@ func TestMultiRunCoverageMonotoneInExecutions(t *testing.T) {
 		cfg.CoverageTarget = 2
 		cfg.Parallelism = 1
 		cfg.MaxExecutions = maxExec
-		res, err := MultiRun(cfg, ds)
+		res, err := MultiRun(context.Background(), cfg, ds)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,5 +1,7 @@
 package core
 
+import "context"
+
 // Progress reporting and early stopping for long executions: the
 // paper's full protocol runs 75,000 generations per execution, so
 // production use needs visibility into the trajectory and a way to
@@ -32,12 +34,18 @@ func (ex *Execution) snapshot() Progress {
 
 // RunWithProgress behaves like Run but invokes fn every `every`
 // generations (and once more at the end). fn returning false stops
-// the execution early. every < 1 is treated as 1.
-func (ex *Execution) RunWithProgress(every int, fn func(Progress) bool) {
+// the execution early. every < 1 is treated as 1. Like Run, the
+// context is checked between generations; on cancellation the final
+// snapshot still fires (so observers see the best-so-far state) and
+// RunWithProgress returns ctx.Err().
+func (ex *Execution) RunWithProgress(ctx context.Context, every int, fn func(Progress) bool) error {
 	if every < 1 {
 		every = 1
 	}
 	for g := 0; g < ex.Config.Generations; g++ {
+		if ctx.Err() != nil {
+			break
+		}
 		ex.Step()
 		if (g+1)%every == 0 {
 			if !fn(ex.snapshot()) {
@@ -47,19 +55,25 @@ func (ex *Execution) RunWithProgress(every int, fn func(Progress) bool) {
 	}
 	ex.refreshStats()
 	fn(ex.snapshot())
+	return ctx.Err()
 }
 
 // RunUntilStagnant runs at most the configured number of generations
 // but stops once `patience` consecutive generations pass without any
 // offspring entering the population — the steady-state analogue of
-// early stopping. Returns the number of generations actually run.
-func (ex *Execution) RunUntilStagnant(patience int) int {
+// early stopping. Returns the number of generations actually run, and
+// ctx.Err() when the context (checked between generations, like Run)
+// ended the loop first.
+func (ex *Execution) RunUntilStagnant(ctx context.Context, patience int) (int, error) {
 	if patience < 1 {
 		patience = 1
 	}
 	idle := 0
 	ran := 0
 	for g := 0; g < ex.Config.Generations; g++ {
+		if ctx.Err() != nil {
+			break
+		}
 		if ex.Step() {
 			idle = 0
 		} else {
@@ -71,5 +85,5 @@ func (ex *Execution) RunUntilStagnant(patience int) int {
 		}
 	}
 	ex.refreshStats()
-	return ran
+	return ran, ctx.Err()
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 )
 
@@ -13,7 +14,7 @@ func TestRunWithProgressCallbackCadence(t *testing.T) {
 		t.Fatal(err)
 	}
 	var calls []int
-	ex.RunWithProgress(25, func(p Progress) bool {
+	ex.RunWithProgress(context.Background(), 25, func(p Progress) bool {
 		calls = append(calls, p.Generation)
 		return true
 	})
@@ -37,7 +38,7 @@ func TestRunWithProgressEarlyStop(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ex.RunWithProgress(10, func(p Progress) bool {
+	ex.RunWithProgress(context.Background(), 10, func(p Progress) bool {
 		return p.Generation < 50 // stop at the 50-generation snapshot
 	})
 	if ex.Stats.Generations != 50 {
@@ -54,7 +55,7 @@ func TestRunWithProgressMonotoneBest(t *testing.T) {
 		t.Fatal(err)
 	}
 	prev := -1e300
-	ex.RunWithProgress(20, func(p Progress) bool {
+	ex.RunWithProgress(context.Background(), 20, func(p Progress) bool {
 		if p.BestFitness < prev-1e-9 {
 			t.Fatalf("best fitness dropped: %v -> %v", prev, p.BestFitness)
 		}
@@ -72,7 +73,7 @@ func TestRunWithProgressClampsEvery(t *testing.T) {
 		t.Fatal(err)
 	}
 	calls := 0
-	ex.RunWithProgress(0, func(Progress) bool { calls++; return true })
+	ex.RunWithProgress(context.Background(), 0, func(Progress) bool { calls++; return true })
 	if calls != 6 { // every generation + final
 		t.Fatalf("calls = %d, want 6", calls)
 	}
@@ -86,7 +87,7 @@ func TestRunUntilStagnant(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ran := ex.RunUntilStagnant(30)
+	ran, _ := ex.RunUntilStagnant(context.Background(), 30)
 	if ran > 5000 {
 		t.Fatalf("ran %d > budget", ran)
 	}
@@ -109,7 +110,7 @@ func TestRunUntilStagnantPatienceClamp(t *testing.T) {
 		t.Fatal(err)
 	}
 	// patience < 1 behaves as 1 (stop on first idle generation).
-	ran := ex.RunUntilStagnant(0)
+	ran, _ := ex.RunUntilStagnant(context.Background(), 0)
 	if ran < 1 || ran > 50 {
 		t.Fatalf("ran %d", ran)
 	}

@@ -1,0 +1,63 @@
+package core
+
+import "fmt"
+
+// Runtime collects the execution-machinery knobs of a run — how fast
+// it goes, never what it computes. Every field is a pure speed (or
+// sharing) knob: any Runtime produces results bit-identical to the
+// zero value, which is also always valid and means "self-contained
+// sequential execution". Splitting these out of Config keeps the
+// paper's hyperparameters — the fields that DO change results — in
+// one struct that can be hashed, compared and serialized on its own.
+type Runtime struct {
+	// Workers bounds the goroutines used for match scans and batch
+	// regressions; 0 = GOMAXPROCS.
+	Workers int
+
+	// Index optionally shares a prebuilt match engine across
+	// executions over the same dataset (multi-run waves, islands).
+	// Nil — or an index built over a different dataset — makes the
+	// execution build its own.
+	Index *MatchIndex
+
+	// Backend optionally routes every match query through an external
+	// evaluation backend — the sharded, batched engine in
+	// internal/engine — instead of the execution's own single index.
+	// Ignored unless it was built over this execution's dataset. Any
+	// backend returns exact matched sets, so results are bit-identical
+	// to the sequential path.
+	//
+	// A backend may additionally be a lifecycle-managed Store
+	// (deletes, sliding windows, compaction, rebalancing); Store()
+	// returns that view. Mutations flow through the same seam appends
+	// do — each bumps the backend's epoch, so every cached evaluation
+	// from an older snapshot expires with it.
+	Backend Backend
+
+	// Cache optionally shares one evaluation-result cache across
+	// executions (multi-run waves, islands, the Pittsburgh baseline).
+	// Nil gives each evaluator its own private cache. Keys embed the
+	// data epoch and evaluator parameters, so sharing never changes
+	// results. Valid only together with Backend (see
+	// EvalOptions.Cache): without the backend's dataset identity and
+	// epoch, a shared store could leak results across datasets —
+	// Validate rejects the pairing.
+	Cache EvalCache
+}
+
+// Validate checks the runtime for consistency. A Cache without a
+// Backend is rejected rather than silently ignored: shared cache keys
+// carry no dataset identity of their own — it is the backend (same
+// dataset by the sharing predicate, epoch-stamped against mutations)
+// that scopes them, so accepting the pairing would either leak results
+// across datasets or, as before this check existed, quietly drop the
+// cache the caller asked for.
+func (r *Runtime) Validate() error {
+	if r.Workers < 0 {
+		return fmt.Errorf("%w: Workers=%d must be non-negative", ErrConfig, r.Workers)
+	}
+	if r.Cache != nil && r.Backend == nil {
+		return fmt.Errorf("%w: Cache requires a Backend (shared cache keys are scoped by the backend's dataset identity and epoch)", ErrConfig)
+	}
+	return nil
+}

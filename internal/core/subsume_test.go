@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"testing"
 
 	"repro/internal/linalg"
@@ -104,7 +106,7 @@ func TestCompactPreservesCoverage(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ex.Run()
+	ex.Run(context.Background())
 	rs := NewRuleSet(3)
 	rs.Add(ex.ValidRules()...)
 	before := rs.Coverage(ds)
@@ -130,7 +132,7 @@ func TestSubsumptionSoundness(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ex.Run()
+	ex.Run(context.Background())
 	rules := ex.ValidRules()
 	for _, a := range rules {
 		for _, b := range rules {

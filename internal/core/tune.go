@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -77,8 +78,11 @@ type TuneResult struct {
 
 // TuneEMax evaluates every EMAX fraction with a short evolution on
 // the leading split and scores it on the holdout. The returned
-// BestEMax plugs directly into Config.EMax for the full run.
-func TuneEMax(cfg TuneConfig, data *series.Dataset) (*TuneResult, error) {
+// BestEMax plugs directly into Config.EMax for the full run. A
+// cancelled context aborts the grid search and returns ctx.Err() with
+// no result — unlike a forecasting run, a partially-scored grid has
+// no meaningful best-so-far.
+func TuneEMax(ctx context.Context, cfg TuneConfig, data *series.Dataset) (*TuneResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -96,17 +100,19 @@ func TuneEMax(cfg TuneConfig, data *series.Dataset) (*TuneResult, error) {
 
 	cands := make([]TuneCandidate, len(cfg.Fractions))
 	errs := make([]error, len(cfg.Fractions)) // one slot per goroutine: no shared writes
-	parallel.For(len(cfg.Fractions), cfg.Parallelism, func(i int) {
+	parallel.ForCtx(ctx, len(cfg.Fractions), cfg.Parallelism, func(i int) {
 		frac := cfg.Fractions[i]
 		c := cfg.Base
 		c.EMax = frac * span
-		c.Workers = 1
+		c.Runtime.Workers = 1
 		ex, err := NewExecution(c, train)
 		if err != nil {
 			errs[i] = err
 			return
 		}
-		ex.Run()
+		if ex.Run(ctx) != nil {
+			return // unscored candidate; the ctx check below discards everything
+		}
 		rs := NewRuleSet(train.D)
 		rs.Add(ex.ValidRules()...)
 		cand := TuneCandidate{Fraction: frac, EMax: c.EMax, Rules: rs.Len(), Score: math.Inf(1)}
@@ -130,6 +136,9 @@ func TuneEMax(cfg TuneConfig, data *series.Dataset) (*TuneResult, error) {
 		}
 		cands[i] = cand
 	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

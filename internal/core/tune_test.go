@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"errors"
 	"math"
 	"testing"
@@ -49,7 +51,7 @@ func TestTuneConfigValidate(t *testing.T) {
 
 func TestTuneEMaxSelectsWorkingCandidate(t *testing.T) {
 	ds := sineDataset(t, 500, 3)
-	res, err := TuneEMax(tuneConfig(), ds)
+	res, err := TuneEMax(context.Background(), tuneConfig(), ds)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +80,7 @@ func TestTuneEMaxDeterministicAcrossParallelism(t *testing.T) {
 	run := func(par int) *TuneResult {
 		cfg := tuneConfig()
 		cfg.Parallelism = par
-		res, err := TuneEMax(cfg, ds)
+		res, err := TuneEMax(context.Background(), cfg, ds)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -99,7 +101,7 @@ func TestTuneEMaxRejectsTinyDataset(t *testing.T) {
 	ds := sineDataset(t, 400, 3)
 	tiny, _ := ds.Split(4)
 	cfg := tuneConfig()
-	if _, err := TuneEMax(cfg, tiny); err == nil {
+	if _, err := TuneEMax(context.Background(), cfg, tiny); err == nil {
 		t.Fatal("tiny dataset accepted")
 	}
 }
@@ -108,7 +110,7 @@ func TestTuneEMaxAllRejected(t *testing.T) {
 	ds := sineDataset(t, 400, 3)
 	cfg := tuneConfig()
 	cfg.MinCoverage = 1.01 // unreachable
-	if _, err := TuneEMax(cfg, ds); err == nil {
+	if _, err := TuneEMax(context.Background(), cfg, ds); err == nil {
 		t.Fatal("impossible MinCoverage did not error")
 	}
 }

@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"context"
+
 	"math"
 	"reflect"
 	"testing"
@@ -152,7 +154,7 @@ func TestAppendInvalidatesCachedResults(t *testing.T) {
 		}
 		// And batched evaluation agrees.
 		r3 := all.Clone()
-		ev.EvaluateAll([]*core.Rule{r3, all.Clone()})
+		ev.EvaluateAll(context.Background(), []*core.Rule{r3, all.Clone()})
 		if r3.Matches != n0+2 {
 			t.Fatalf("bypass=%v: batched post-append Matches = %d, want %d", bypass, r3.Matches, n0+2)
 		}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/core"
@@ -27,7 +28,12 @@ type batchPlan struct {
 // through the global bitmap. out[i] corresponds to rules[i] and is
 // bit-identical to MatchIndices(rules[i]) — grouping and fan-out are
 // pure scheduling.
-func (s *Shards) MatchBatch(rules []*core.Rule) [][]int {
+//
+// The context bounds every parallel pass: once it is cancelled the
+// remaining scheduling work is skipped, all fan-out goroutines drain
+// before MatchBatch returns, and the result is incomplete — callers
+// must check ctx.Err() and discard it (core.Evaluator does).
+func (s *Shards) MatchBatch(ctx context.Context, rules []*core.Rule) [][]int {
 	out := make([][]int, len(rules))
 	if len(rules) == 0 {
 		return out
@@ -37,9 +43,11 @@ func (s *Shards) MatchBatch(rules []*core.Rule) [][]int {
 
 	// Scheduling pass: aggregate per-gene selectivity across shards.
 	plans := make([]batchPlan, len(rules))
-	parallel.For(len(rules), s.workers, func(w int) {
+	if parallel.ForCtx(ctx, len(rules), s.workers, func(w int) {
 		plans[w] = s.plan(rules[w])
-	})
+	}) != nil {
+		return out
+	}
 
 	// Group rules by their most selective lag. The order is the sort
 	// key only — results are per-rule, so it cannot affect outcomes.
@@ -53,16 +61,23 @@ func (s *Shards) MatchBatch(rules []*core.Rule) [][]int {
 		return plans[order[a]].dim < plans[order[b]].dim
 	})
 
-	// Shard-major walk: each shard serves every group in lag order.
+	// Shard-major walk: each shard serves every group in lag order,
+	// checking the context between rules so a cancelled run abandons
+	// the walk mid-shard instead of finishing the generation.
 	locals := make([][][]int, len(s.parts))
-	parallel.For(len(s.parts), s.workers, func(si int) {
+	if parallel.ForCtx(ctx, len(s.parts), s.workers, func(si int) {
 		sh := s.parts[si]
 		mine := make([][]int, len(rules))
 		for _, w := range order {
+			if ctx.Err() != nil {
+				break
+			}
 			mine[w] = sh.matchAlong(rules[w], plans[w].dim)
 		}
 		locals[si] = mine
-	})
+	}) != nil {
+		return out
+	}
 
 	// Per-rule merge of the shard results (ascending global indices).
 	// All-wildcard rules share one live-row enumeration: every live
@@ -74,7 +89,7 @@ func (s *Shards) MatchBatch(rules []*core.Rule) [][]int {
 			break
 		}
 	}
-	parallel.For(len(rules), s.workers, func(w int) {
+	parallel.ForCtx(ctx, len(rules), s.workers, func(w int) {
 		if plans[w].wildcard {
 			// Fresh copy per rule: callers own their result slices.
 			out[w] = append([]int(nil), allLive...)

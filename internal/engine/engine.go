@@ -103,9 +103,9 @@ func (e *Engine) Cache() *SharedCache { return e.cache }
 // Compact(); it is a no-op when nothing is tombstoned.
 func (e *Engine) Configure(cfg *core.Config) {
 	e.Compact()
-	cfg.Backend = e
-	cfg.Cache = e.cache
-	cfg.Index = nil
+	cfg.Runtime.Backend = e
+	cfg.Runtime.Cache = e.cache
+	cfg.Runtime.Index = nil
 }
 
 // Append adds streaming patterns: the shard layer routes them to the

@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"context"
+
 	"math"
 	"testing"
 
@@ -117,7 +119,7 @@ func TestMatchBatchEqualsMatchIndices(t *testing.T) {
 		rules := randomRules(ds, 50, 23)
 		for _, p := range []int{1, 3, 8} {
 			s := NewShards(ds, p, 0)
-			batch := s.MatchBatch(rules)
+			batch := s.MatchBatch(context.Background(), rules)
 			if len(batch) != len(rules) {
 				t.Fatalf("MatchBatch returned %d results for %d rules", len(batch), len(rules))
 			}
@@ -134,9 +136,9 @@ func TestConfigureWiresBackendAndCache(t *testing.T) {
 	ds := testDataset(t, 200, 3, false)
 	eng := New(ds, Options{Shards: 3})
 	cfg := core.Default(3)
-	cfg.Index = core.NewMatchIndex(ds) // must be cleared
+	cfg.Runtime.Index = core.NewMatchIndex(ds) // must be cleared
 	eng.Configure(&cfg)
-	if cfg.Backend != core.Backend(eng) || cfg.Cache != core.EvalCache(eng.Cache()) || cfg.Index != nil {
+	if cfg.Runtime.Backend != core.Backend(eng) || cfg.Runtime.Cache != core.EvalCache(eng.Cache()) || cfg.Runtime.Index != nil {
 		t.Fatal("Configure did not wire backend/cache/index as documented")
 	}
 	cfg.Generations = 30
@@ -148,7 +150,7 @@ func TestConfigureWiresBackendAndCache(t *testing.T) {
 	if ex.Eval.Backend() != core.Backend(eng) {
 		t.Fatal("execution did not adopt the engine backend")
 	}
-	ex.Run()
+	ex.Run(context.Background())
 	if hits, misses := eng.Cache().Stats(); hits+misses == 0 {
 		t.Fatal("execution never touched the shared cache")
 	}
@@ -170,7 +172,7 @@ func TestEvaluatorRejectsForeignEngine(t *testing.T) {
 	if ev.Index() == nil || ev.Index().Data() != dsA {
 		t.Fatal("evaluator did not fall back to its own index")
 	}
-	ev.EvaluateAll(randomRules(dsA, 10, 5))
+	ev.EvaluateAll(context.Background(), randomRules(dsA, 10, 5))
 	if hits, misses := eng.Cache().Stats(); hits+misses != 0 || eng.Cache().Len() != 0 {
 		t.Fatal("evaluator used the foreign engine's cache despite rejecting its backend")
 	}
@@ -183,7 +185,7 @@ func TestEvaluatorRejectsCacheWithoutBackend(t *testing.T) {
 	ds := testDataset(t, 200, 3, false)
 	eng := New(ds, Options{Shards: 2})
 	ev := core.NewEvaluatorOpt(ds, 1.0, 0, 1e-8, 1, core.EvalOptions{Cache: eng.Cache()})
-	ev.EvaluateAll(randomRules(ds, 10, 5))
+	ev.EvaluateAll(context.Background(), randomRules(ds, 10, 5))
 	if hits, misses := eng.Cache().Stats(); hits+misses != 0 || eng.Cache().Len() != 0 {
 		t.Fatal("evaluator adopted a shared cache without its backend")
 	}

@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"context"
+
 	"math"
 	"testing"
 
@@ -132,7 +134,7 @@ func checkEvalEquivalence(t *testing.T, step string, eng *Engine, ev *core.Evalu
 		ref.Evaluate(r)
 	}
 	gotBatch := cloneAll(rules)
-	ev.EvaluateAll(gotBatch)
+	ev.EvaluateAll(context.Background(), gotBatch)
 	for i := range gotBatch {
 		requireIdentical(t, step+"/batched", i, gotBatch[i], want[i])
 	}

@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"context"
+
 	"testing"
 
 	"repro/internal/core"
@@ -42,7 +44,7 @@ func TestDeleteHidesRowsImmediately(t *testing.T) {
 		}
 	}
 	// Batched path agrees.
-	batch := eng.MatchBatch([]*core.Rule{wild})
+	batch := eng.MatchBatch(context.Background(), []*core.Rule{wild})
 	if !intsEqual(batch[0], got) {
 		t.Fatal("MatchBatch disagrees with MatchIndices on tombstoned data")
 	}

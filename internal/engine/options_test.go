@@ -1,7 +1,6 @@
 package engine
 
 import (
-	"flag"
 	"math"
 	"testing"
 )
@@ -71,38 +70,5 @@ func TestOptionsClamped(t *testing.T) {
 	}
 	if got := eng.MatchIndices(randomRules(ds, 1, 1)[0]); got == nil {
 		_ = got // nil is legal (no matches); the call just must not panic
-	}
-}
-
-// TestFlagsSharedWiring checks the one-place CLI wiring: both
-// binaries register through RegisterFlags, so the flag names and
-// resolution rules cannot drift apart.
-func TestFlagsSharedWiring(t *testing.T) {
-	parse := func(args ...string) *Flags {
-		fs := flag.NewFlagSet("test", flag.ContinueOnError)
-		f := RegisterFlags(fs)
-		if err := fs.Parse(args); err != nil {
-			t.Fatal(err)
-		}
-		return f
-	}
-
-	if f := parse(); f.Enabled() {
-		t.Fatal("no flags: engine must stay disabled")
-	}
-	if f := parse("-shards", "8"); !f.Enabled() || f.Options().Shards != 8 {
-		t.Fatalf("-shards 8: Enabled=%v Options=%+v", f.Enabled(), f.Options())
-	}
-	if f := parse("-shards", "-1"); !f.Enabled() || f.Options().Shards != 0 {
-		t.Fatalf("-shards -1 must resolve to the per-core default, got %+v", f.Options())
-	}
-	if f := parse("-window", "500"); !f.Enabled() || f.Window() != 500 {
-		t.Fatalf("-window 500: Enabled=%v Window=%d", f.Enabled(), f.Window())
-	}
-	if f := parse("-rebalance"); !f.Enabled() || !f.Options().Rebalance {
-		t.Fatalf("-rebalance: Enabled=%v Options=%+v", f.Enabled(), f.Options())
-	}
-	if f := parse("-window", "-3"); f.Enabled() || f.Window() != 0 {
-		t.Fatalf("negative -window must clamp to unbounded, got %d", f.Window())
 	}
 }

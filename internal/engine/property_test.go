@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"context"
+
 	"math"
 	"testing"
 
@@ -116,7 +118,7 @@ func checkEngineEquivalence(t *testing.T, ds *series.Dataset, rules []*core.Rule
 	} else {
 		for lo := 0; lo < len(got); lo += batch {
 			hi := min(lo+batch, len(got))
-			ev.EvaluateAll(got[lo:hi])
+			ev.EvaluateAll(context.Background(), got[lo:hi])
 		}
 	}
 	for i := range got {
@@ -126,7 +128,7 @@ func checkEngineEquivalence(t *testing.T, ds *series.Dataset, rules []*core.Rule
 	// Second pass over clones: with the cache warm (shared or
 	// private), results must still be bit-identical.
 	again := cloneAll(rules)
-	ev.EvaluateAll(again)
+	ev.EvaluateAll(context.Background(), again)
 	for i := range again {
 		requireIdentical(t, label+"+warm-cache", i, again[i], want[i])
 	}
@@ -192,7 +194,7 @@ func FuzzEngineMatch(f *testing.F) {
 		rules := randomRules(ds, 12, seed+1)
 		ref := core.NewEvaluator(ds, 1, 0, 1e-8, 1)
 		s := NewShards(ds, 1+int(shards)%10, 0)
-		batch := s.MatchBatch(rules)
+		batch := s.MatchBatch(context.Background(), rules)
 		for ri, r := range rules {
 			want := ref.MatchIndicesScan(r)
 			if got := s.MatchIndices(r); !intsEqual(got, want) {

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 
 	"repro/internal/core"
@@ -29,7 +31,7 @@ type AblationResult struct {
 }
 
 // Ablations runs each variant with an identical budget and seed.
-func Ablations(sc Scale, seed int64) (*AblationResult, error) {
+func Ablations(ctx context.Context, sc Scale, seed int64) (*AblationResult, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, err
 	}
@@ -84,10 +86,10 @@ func Ablations(sc Scale, seed int64) (*AblationResult, error) {
 		if eng != nil {
 			eng.Configure(&base)
 		} else {
-			base.Index = idx
+			base.Runtime.Index = idx
 		}
 		v.mutate(&base)
-		mr, err := core.MultiRun(core.MultiRunConfig{
+		mr, err := core.MultiRun(ctx, core.MultiRunConfig{
 			Base:           base,
 			CoverageTarget: sc.Coverage,
 			MaxExecutions:  sc.Executions,

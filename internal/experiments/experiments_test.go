@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"strings"
 	"testing"
 )
@@ -34,7 +36,7 @@ func TestScaleValidate(t *testing.T) {
 }
 
 func TestTable1TinyRuns(t *testing.T) {
-	res, err := Table1(Tiny(), 42, []int{1, 4})
+	res, err := Table1(context.Background(), Tiny(), 42, []int{1, 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +63,7 @@ func TestTable1TinyRuns(t *testing.T) {
 }
 
 func TestTable2TinyRuns(t *testing.T) {
-	res, err := Table2(Tiny(), 42)
+	res, err := Table2(context.Background(), Tiny(), 42)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +89,7 @@ func TestTable2TinyRuns(t *testing.T) {
 }
 
 func TestTable3TinyRuns(t *testing.T) {
-	res, err := Table3(Tiny(), 42, []int{1, 8})
+	res, err := Table3(context.Background(), Tiny(), 42, []int{1, 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +113,7 @@ func TestTable3TinyRuns(t *testing.T) {
 }
 
 func TestFigure1TinyRuns(t *testing.T) {
-	res, err := Figure1(Tiny(), 42)
+	res, err := Figure1(context.Background(), Tiny(), 42)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +129,7 @@ func TestFigure1TinyRuns(t *testing.T) {
 }
 
 func TestFigure2TinyRuns(t *testing.T) {
-	res, err := Figure2(Tiny(), 42)
+	res, err := Figure2(context.Background(), Tiny(), 42)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +154,7 @@ func TestFigure2TinyRuns(t *testing.T) {
 }
 
 func TestAblationsTinyRuns(t *testing.T) {
-	res, err := Ablations(Tiny(), 42)
+	res, err := Ablations(context.Background(), Tiny(), 42)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,22 +182,22 @@ func TestAblationsTinyRuns(t *testing.T) {
 func TestTable1RejectsBadScale(t *testing.T) {
 	bad := Tiny()
 	bad.PopSize = 0
-	if _, err := Table1(bad, 1, []int{1}); err == nil {
+	if _, err := Table1(context.Background(), bad, 1, []int{1}); err == nil {
 		t.Fatal("bad scale accepted")
 	}
-	if _, err := Table2(bad, 1); err == nil {
+	if _, err := Table2(context.Background(), bad, 1); err == nil {
 		t.Fatal("bad scale accepted by Table2")
 	}
-	if _, err := Table3(bad, 1, []int{1}); err == nil {
+	if _, err := Table3(context.Background(), bad, 1, []int{1}); err == nil {
 		t.Fatal("bad scale accepted by Table3")
 	}
-	if _, err := Figure1(bad, 1); err == nil {
+	if _, err := Figure1(context.Background(), bad, 1); err == nil {
 		t.Fatal("bad scale accepted by Figure1")
 	}
-	if _, err := Figure2(bad, 1); err == nil {
+	if _, err := Figure2(context.Background(), bad, 1); err == nil {
 		t.Fatal("bad scale accepted by Figure2")
 	}
-	if _, err := Ablations(bad, 1); err == nil {
+	if _, err := Ablations(context.Background(), bad, 1); err == nil {
 		t.Fatal("bad scale accepted by Ablations")
 	}
 }

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 	"math"
 
@@ -45,7 +47,7 @@ type TradeoffResult struct {
 
 // Tradeoff trains once on Mackey-Glass (h=50) and evaluates the same
 // rule set under increasingly strict pruning.
-func Tradeoff(sc Scale, seed int64) (*TradeoffResult, error) {
+func Tradeoff(ctx context.Context, sc Scale, seed int64) (*TradeoffResult, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, err
 	}
@@ -61,7 +63,7 @@ func Tradeoff(sc Scale, seed int64) (*TradeoffResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	rs, _, _, err := ruleSystemRun(train, test, sc, seed, 0)
+	rs, _, _, err := ruleSystemRun(ctx, train, test, sc, seed, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -124,7 +126,7 @@ type HorizonStabilityResult struct {
 // HorizonStability sweeps the prediction horizon on Mackey-Glass and
 // reports coverage, error and rule count per horizon (§4.1's claim:
 // coverage holds and rule count does not grow as τ increases).
-func HorizonStability(sc Scale, seed int64) (*HorizonStabilityResult, error) {
+func HorizonStability(ctx context.Context, sc Scale, seed int64) (*HorizonStabilityResult, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, err
 	}
@@ -142,7 +144,7 @@ func HorizonStability(sc Scale, seed int64) (*HorizonStabilityResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		rs, pred, mask, err := ruleSystemRun(train, test, sc, seed+int64(h), 0)
+		rs, pred, mask, err := ruleSystemRun(ctx, train, test, sc, seed+int64(h), 0)
 		if err != nil {
 			return nil, err
 		}
@@ -194,7 +196,7 @@ type NoiseRobustnessResult struct {
 // NoiseRobustness adds Gaussian observation noise to the Mackey-Glass
 // series (train and test alike) and tracks how the rule system and
 // the RAN baseline degrade.
-func NoiseRobustness(sc Scale, seed int64) (*NoiseRobustnessResult, error) {
+func NoiseRobustness(ctx context.Context, sc Scale, seed int64) (*NoiseRobustnessResult, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, err
 	}
@@ -214,7 +216,7 @@ func NoiseRobustness(sc Scale, seed int64) (*NoiseRobustnessResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		_, pred, mask, err := ruleSystemRun(train, test, sc, seed, 0)
+		_, pred, mask, err := ruleSystemRun(ctx, train, test, sc, seed, 0)
 		if err != nil {
 			return nil, err
 		}
@@ -274,7 +276,7 @@ type ApproachResult struct {
 // MichiganVsPittsburgh runs the three architectures on Mackey-Glass
 // h=50. The Pittsburgh budget is matched on total rule evaluations:
 // PopSize·Generations(steady-state) ≈ SetPop·SetGens·RulesPerSet.
-func MichiganVsPittsburgh(sc Scale, seed int64) (*ApproachResult, error) {
+func MichiganVsPittsburgh(ctx context.Context, sc Scale, seed int64) (*ApproachResult, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, err
 	}
@@ -307,7 +309,7 @@ func MichiganVsPittsburgh(sc Scale, seed int64) (*ApproachResult, error) {
 	}
 
 	// Michigan (the paper).
-	rs, _, _, err := ruleSystemRun(train, test, sc, seed, 0)
+	rs, _, _, err := ruleSystemRun(ctx, train, test, sc, seed, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -334,7 +336,7 @@ func MichiganVsPittsburgh(sc Scale, seed int64) (*ApproachResult, error) {
 	if eng != nil {
 		eng.Configure(&base)
 	}
-	isl, err := core.RunIslands(core.IslandConfig{
+	isl, err := core.RunIslands(ctx, core.IslandConfig{
 		Base:              base,
 		Islands:           4,
 		MigrationInterval: maxInt(sc.Generations/10, 1),
@@ -361,7 +363,7 @@ func MichiganVsPittsburgh(sc Scale, seed int64) (*ApproachResult, error) {
 		pcfg.Backend = eng
 		pcfg.Cache = eng.Cache()
 	}
-	pres, err := pittsburgh.Run(pcfg, train)
+	pres, err := pittsburgh.Run(ctx, pcfg, train)
 	if err != nil {
 		return nil, err
 	}

@@ -1,13 +1,15 @@
 package experiments
 
 import (
+	"context"
+
 	"math"
 	"strings"
 	"testing"
 )
 
 func TestTradeoffTinyRuns(t *testing.T) {
-	res, err := Tradeoff(Tiny(), 42)
+	res, err := Tradeoff(context.Background(), Tiny(), 42)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -30,7 +32,7 @@ func TestTradeoffTinyRuns(t *testing.T) {
 }
 
 func TestHorizonStabilityTinyRuns(t *testing.T) {
-	res, err := HorizonStability(Tiny(), 42)
+	res, err := HorizonStability(context.Background(), Tiny(), 42)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,7 +53,7 @@ func TestHorizonStabilityTinyRuns(t *testing.T) {
 }
 
 func TestNoiseRobustnessTinyRuns(t *testing.T) {
-	res, err := NoiseRobustness(Tiny(), 42)
+	res, err := NoiseRobustness(context.Background(), Tiny(), 42)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +74,7 @@ func TestNoiseRobustnessTinyRuns(t *testing.T) {
 }
 
 func TestMichiganVsPittsburghTinyRuns(t *testing.T) {
-	res, err := MichiganVsPittsburgh(Tiny(), 42)
+	res, err := MichiganVsPittsburgh(context.Background(), Tiny(), 42)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +99,7 @@ func TestMichiganVsPittsburghTinyRuns(t *testing.T) {
 }
 
 func TestGeneralizationTinyRuns(t *testing.T) {
-	res, err := Generalization(Tiny(), 42)
+	res, err := Generalization(context.Background(), Tiny(), 42)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,19 +126,19 @@ func TestGeneralizationTinyRuns(t *testing.T) {
 func TestExtensionsRejectBadScale(t *testing.T) {
 	bad := Tiny()
 	bad.Generations = 0
-	if _, err := Tradeoff(bad, 1); err == nil {
+	if _, err := Tradeoff(context.Background(), bad, 1); err == nil {
 		t.Fatal("Tradeoff accepted bad scale")
 	}
-	if _, err := HorizonStability(bad, 1); err == nil {
+	if _, err := HorizonStability(context.Background(), bad, 1); err == nil {
 		t.Fatal("HorizonStability accepted bad scale")
 	}
-	if _, err := NoiseRobustness(bad, 1); err == nil {
+	if _, err := NoiseRobustness(context.Background(), bad, 1); err == nil {
 		t.Fatal("NoiseRobustness accepted bad scale")
 	}
-	if _, err := MichiganVsPittsburgh(bad, 1); err == nil {
+	if _, err := MichiganVsPittsburgh(context.Background(), bad, 1); err == nil {
 		t.Fatal("MichiganVsPittsburgh accepted bad scale")
 	}
-	if _, err := Generalization(bad, 1); err == nil {
+	if _, err := Generalization(context.Background(), bad, 1); err == nil {
 		t.Fatal("Generalization accepted bad scale")
 	}
 }

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 
 	"repro/internal/core"
@@ -18,7 +20,7 @@ type Figure1Result struct {
 // Figure1 evolves a small population on the Mackey-Glass series and
 // renders its fittest rule as interval boxes plus prediction column,
 // the diagram of the paper's Figure 1.
-func Figure1(sc Scale, seed int64) (*Figure1Result, error) {
+func Figure1(ctx context.Context, sc Scale, seed int64) (*Figure1Result, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, err
 	}
@@ -38,7 +40,7 @@ func Figure1(sc Scale, seed int64) (*Figure1Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	ex.Run()
+	ex.Run(ctx)
 	rules := ex.ValidRules()
 	if len(rules) == 0 {
 		return nil, fmt.Errorf("figure1: no valid rules evolved")
@@ -72,7 +74,7 @@ const figure2Window = 60
 // Figure2 trains the rule system on the Venice series at horizon 1,
 // locates the highest tide in the validation segment, and returns the
 // aligned real/predicted traces around it.
-func Figure2(sc Scale, seed int64) (*Figure2Result, error) {
+func Figure2(ctx context.Context, sc Scale, seed int64) (*Figure2Result, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, err
 	}
@@ -89,7 +91,7 @@ func Figure2(sc Scale, seed int64) (*Figure2Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	_, pred, mask, err := ruleSystemRun(train, val, sc, seed, veniceEMaxFrac(1))
+	_, pred, mask, err := ruleSystemRun(ctx, train, val, sc, seed, veniceEMaxFrac(1))
 	if err != nil {
 		return nil, err
 	}

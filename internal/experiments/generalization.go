@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 	"math"
 
@@ -30,7 +32,7 @@ type GeneralizationResult struct {
 
 // Generalization runs the rule system, RAN and AR(12) on the Lorenz
 // x-component (normalized, D=6 consecutive samples, horizon 5).
-func Generalization(sc Scale, seed int64) (*GeneralizationResult, error) {
+func Generalization(ctx context.Context, sc Scale, seed int64) (*GeneralizationResult, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, err
 	}
@@ -60,7 +62,7 @@ func Generalization(sc Scale, seed int64) (*GeneralizationResult, error) {
 	res := &GeneralizationResult{Scale: sc}
 
 	// Rule system.
-	_, pred, mask, err := ruleSystemRun(train, test, sc, seed, 0)
+	_, pred, mask, err := ruleSystemRun(ctx, train, test, sc, seed, 0)
 	if err != nil {
 		return nil, err
 	}

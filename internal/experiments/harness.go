@@ -1,13 +1,15 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 	"math"
 	"strings"
 	"text/tabwriter"
 
+	"repro/forecast"
 	"repro/internal/core"
-	"repro/internal/engine"
 	"repro/internal/linalg"
 	"repro/internal/neural"
 	"repro/internal/series"
@@ -40,44 +42,50 @@ func globalLinearRMSE(train *series.Dataset) float64 {
 // EMAX as a fraction of the training target span; 0 keeps the core
 // default (10%). Noisier domains (sunspots) need a looser EMAX for
 // rules to clear the fitness gate — the paper tunes EMAX per domain.
-func ruleSystemRun(train, val *series.Dataset, sc Scale, seed int64, emaxFrac float64) (*core.RuleSet, []float64, []bool, error) {
-	base := core.Default(train.D)
-	base.Horizon = train.Horizon
-	base.PopSize = sc.PopSize
-	base.Generations = sc.Generations
-	base.Seed = seed
-	// Build the match machinery here rather than inside MultiRun so
-	// the cost is paid exactly once per harness invocation even when
-	// the coverage loop spawns many execution waves: the sharded
-	// engine (with its shared result cache) when the scale asks for
-	// it, one shared match index otherwise.
+//
+// The run goes through the public forecast facade — the same wiring
+// every external consumer uses — so the harnesses double as an
+// end-to-end check of it. Results are bit-identical to the old direct
+// core.MultiRun path: the facade adds no computation, only plumbing.
+func ruleSystemRun(ctx context.Context, train, val *series.Dataset, sc Scale, seed int64, emaxFrac float64) (*core.RuleSet, []float64, []bool, error) {
+	opts := []forecast.Option{
+		forecast.WithPopulation(sc.PopSize),
+		forecast.WithGenerations(sc.Generations),
+		forecast.WithSeed(seed),
+		forecast.WithMultiRun(sc.Executions),
+		forecast.WithParallelism(sc.Parallelism),
+	}
+	if sc.Coverage > 0 && sc.Coverage <= 1 {
+		opts = append(opts, forecast.WithCoverageTarget(sc.Coverage))
+	} // outside (0,1]: no early-stop target, every execution runs
 	if sc.EngineShards > 0 {
-		engine.New(train, sc.engineOptions()).Configure(&base)
-	} else {
-		base.Index = core.NewMatchIndex(train)
+		// Sharded, batched evaluation with one result cache shared
+		// across the accumulated executions.
+		opts = append(opts, forecast.WithEngine(sc.EngineShards), forecast.WithSharedCache())
+		if sc.EngineRebalance {
+			opts = append(opts, forecast.WithRebalance())
+		}
 	}
 	if emaxFrac > 0 {
 		lo, hi := train.TargetRange()
-		base.EMax = emaxFrac * (hi - lo)
-	} // else EMax stays 0 and core resolves it to 10% of the span
-	cfg := core.MultiRunConfig{
-		Base:           base,
-		CoverageTarget: sc.Coverage,
-		MaxExecutions:  sc.Executions,
-		Parallelism:    sc.Parallelism,
-	}
-	res, err := core.MultiRun(cfg, train)
+		opts = append(opts, forecast.WithEMax(emaxFrac*(hi-lo)))
+	} // else EMax stays unset and core resolves it to 10% of the span
+	f, err := forecast.New(opts...)
 	if err != nil {
 		return nil, nil, nil, err
 	}
+	if err := f.Fit(ctx, train); err != nil {
+		return nil, nil, nil, err
+	}
+	rs := f.RuleSet()
 	// Clamp outputs to the training span (±10%): a linear consequent
 	// extrapolating outside the outputs it was fitted on has no
 	// empirical support and can poison the mean on rare patterns.
 	lo, hi := train.TargetRange()
 	margin := 0.1 * (hi - lo)
-	res.RuleSet.SetClamp(lo-margin, hi+margin)
-	pred, mask := res.RuleSet.PredictDataset(val)
-	return res.RuleSet, pred, mask, nil
+	rs.SetClamp(lo-margin, hi+margin)
+	pred, mask := rs.PredictDataset(val)
+	return rs, pred, mask, nil
 }
 
 // mlpRun trains the feed-forward baseline with internal min-max

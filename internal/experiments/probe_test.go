@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 	"os"
 	"testing"
@@ -39,7 +41,7 @@ func TestProbeEMax(t *testing.T) {
 			base.Generations = 4000
 			base.Seed = 42
 			base.EMax = frac * span
-			res, err := core.MultiRun(core.MultiRunConfig{
+			res, err := core.MultiRun(context.Background(), core.MultiRunConfig{
 				Base: base, CoverageTarget: 0.98, MaxExecutions: 4,
 			}, train)
 			if err != nil {

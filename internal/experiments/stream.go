@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 	"math"
 
@@ -75,7 +77,7 @@ const streamRounds = 6
 // half of it (sc.EngineWindow overrides) and the engine comes from
 // the scale's engine knobs (per-core shards when none are set — this
 // scenario is about the engine, so it is always on).
-func WindowedStream(sc Scale, seed int64) (*StreamResult, error) {
+func WindowedStream(ctx context.Context, sc Scale, seed int64) (*StreamResult, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, err
 	}
@@ -107,7 +109,7 @@ func WindowedStream(sc Scale, seed int64) (*StreamResult, error) {
 		base.Generations = sc.Generations / 2
 		base.Seed = seed + int64(round)
 		eng.Configure(&base)
-		res, err := core.MultiRun(core.MultiRunConfig{
+		res, err := core.MultiRun(ctx, core.MultiRunConfig{
 			Base:           base,
 			CoverageTarget: sc.Coverage,
 			MaxExecutions:  2,

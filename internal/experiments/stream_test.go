@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"strings"
 	"testing"
 )
@@ -13,7 +15,7 @@ func TestWindowedStreamTiny(t *testing.T) {
 	sc := Tiny()
 	sc.EngineShards = 4
 	sc.EngineRebalance = true
-	res, err := WindowedStream(sc, 7)
+	res, err := WindowedStream(context.Background(), sc, 7)
 	if err != nil {
 		t.Fatal(err)
 	}

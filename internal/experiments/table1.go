@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 
 	"repro/internal/metrics"
@@ -46,7 +48,7 @@ func veniceEMaxFrac(h int) float64 {
 // the evolutionary rule system (coverage + masked RMSE) against a
 // feed-forward network (RMSE), both reading D=24 consecutive hourly
 // water levels. Horizons may be overridden (nil → the paper's list).
-func Table1(sc Scale, seed int64, horizons []int) (*Table1Result, error) {
+func Table1(ctx context.Context, sc Scale, seed int64, horizons []int) (*Table1Result, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, err
 	}
@@ -69,7 +71,7 @@ func Table1(sc Scale, seed int64, horizons []int) (*Table1Result, error) {
 			return nil, fmt.Errorf("table1 h=%d: %w", h, err)
 		}
 
-		rs, pred, mask, err := ruleSystemRun(train, val, sc, seed+int64(h), veniceEMaxFrac(h))
+		rs, pred, mask, err := ruleSystemRun(ctx, train, val, sc, seed+int64(h), veniceEMaxFrac(h))
 		if err != nil {
 			return nil, fmt.Errorf("table1 h=%d rule system: %w", h, err)
 		}

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 
 	"repro/internal/metrics"
@@ -35,7 +37,7 @@ const (
 // Table2 reproduces the Mackey-Glass comparison at horizons 50
 // (vs MRAN, Yingwei et al.) and 85 (vs RAN, Platt), NMSE on the
 // [4500,5000) test segment.
-func Table2(sc Scale, seed int64) (*Table2Result, error) {
+func Table2(ctx context.Context, sc Scale, seed int64) (*Table2Result, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, err
 	}
@@ -54,7 +56,7 @@ func Table2(sc Scale, seed int64) (*Table2Result, error) {
 			return nil, fmt.Errorf("table2 h=%d: %w", h, err)
 		}
 
-		rs, pred, mask, err := ruleSystemRun(train, test, sc, seed+int64(h), 0)
+		rs, pred, mask, err := ruleSystemRun(ctx, train, test, sc, seed+int64(h), 0)
 		if err != nil {
 			return nil, fmt.Errorf("table2 h=%d rule system: %w", h, err)
 		}

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"errors"
 	"fmt"
 	"math"
@@ -39,7 +41,7 @@ type Table3Result struct {
 // Table3 reproduces the sunspot comparison: 24 monthly inputs,
 // training on the 1749-1919 analogue and validating on 1929-1977,
 // with the Galván & Isasi error measure.
-func Table3(sc Scale, seed int64, horizons []int) (*Table3Result, error) {
+func Table3(ctx context.Context, sc Scale, seed int64, horizons []int) (*Table3Result, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, err
 	}
@@ -62,7 +64,7 @@ func Table3(sc Scale, seed int64, horizons []int) (*Table3Result, error) {
 			return nil, fmt.Errorf("table3 h=%d: %w", h, err)
 		}
 
-		rs, pred, mask, err := ruleSystemRun(train, val, sc, seed+int64(h), sunspotEMaxFrac)
+		rs, pred, mask, err := ruleSystemRun(ctx, train, val, sc, seed+int64(h), sunspotEMaxFrac)
 		if err != nil {
 			return nil, fmt.Errorf("table3 h=%d rule system: %w", h, err)
 		}

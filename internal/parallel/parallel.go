@@ -7,6 +7,7 @@
 package parallel
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
@@ -54,6 +55,56 @@ func For(n, workers int, fn func(i int)) {
 		}(start, end)
 	}
 	wg.Wait()
+}
+
+// ForCtx is For with cooperative cancellation: each worker checks the
+// context between iterations and stops claiming work once it is
+// cancelled. ForCtx always waits for every worker to return — no
+// goroutine outlives the call, cancelled or not — and returns
+// ctx.Err(). On cancellation some iterations have simply not run;
+// callers must treat their outputs as incomplete and discard them
+// (results computed by iterations that DID run are complete and
+// deterministic as usual).
+func ForCtx(ctx context.Context, n, workers int, fn func(i int)) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				break
+			}
+			fn(i)
+		}
+		return ctx.Err()
+	}
+	done := ctx.Done()
+	var wg sync.WaitGroup
+	chunk := (n + w - 1) / w
+	for start := 0; start < n; start += chunk {
+		end := start + chunk
+		if end > n {
+			end = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				fn(i)
+			}
+		}(start, end)
+	}
+	wg.Wait()
+	return ctx.Err()
 }
 
 // Fold computes a parallel reduction over [0,n). Each worker folds its

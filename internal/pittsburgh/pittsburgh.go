@@ -8,6 +8,7 @@
 package pittsburgh
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -95,7 +96,12 @@ type Result struct {
 }
 
 // Run evolves rule sets on the training data and returns the best.
-func Run(cfg Config, data *series.Dataset) (*Result, error) {
+// The context is checked between generations (and inside each
+// generation between offspring): on cancellation the incomplete
+// generation is discarded and Run returns the best individual of the
+// last complete one together with ctx.Err(). Cancellation during
+// population initialization returns a nil result.
+func Run(ctx context.Context, cfg Config, data *series.Dataset) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -118,18 +124,24 @@ func Run(cfg Config, data *series.Dataset) (*Result, error) {
 	// coverage), then gets its consequents fitted.
 	pop := make([]*individual, cfg.PopSize)
 	for i := range pop {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		rules := core.InitStratified(data, cfg.RulesPerSet)
 		// Perturb every individual differently so the population is
 		// not PopSize copies of the same set.
 		ind := &individual{rules: rules}
 		mutateSet(ind, cfg, eval, src)
-		eval.refit(ind)
+		eval.refit(ctx, ind)
 		ind.fitness = eval.fitness(ind)
 		pop[i] = ind
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	res := &Result{}
-	for g := 0; g < cfg.Generations; g++ {
+	for g := 0; g < cfg.Generations && ctx.Err() == nil; g++ {
 		next := make([]*individual, 0, cfg.PopSize)
 		// Elitism: carry the best sets over unchanged.
 		order := sortByFitness(pop)
@@ -137,6 +149,9 @@ func Run(cfg Config, data *series.Dataset) (*Result, error) {
 			next = append(next, cloneIndividual(order[e]))
 		}
 		for len(next) < cfg.PopSize {
+			if ctx.Err() != nil {
+				break
+			}
 			pa := tournament(pop, cfg.TournamentK, src)
 			var child *individual
 			if src.Bool(cfg.CrossoverP) {
@@ -146,9 +161,14 @@ func Run(cfg Config, data *series.Dataset) (*Result, error) {
 				child = cloneIndividual(pa)
 			}
 			mutateSet(child, cfg, eval, src)
-			eval.refit(child)
+			if eval.refit(ctx, child) != nil {
+				break // a torn refit never enters the population
+			}
 			child.fitness = eval.fitness(child)
 			next = append(next, child)
+		}
+		if ctx.Err() != nil {
+			break // discard the incomplete generation; pop stays valid
 		}
 		pop = next
 		best := sortByFitness(pop)[0]
@@ -164,7 +184,7 @@ func Run(cfg Config, data *series.Dataset) (*Result, error) {
 	}
 	res.RuleSet = rs
 	res.BestFitness = best.fitness
-	return res, nil
+	return res, ctx.Err()
 }
 
 // setEvaluator scores whole rule sets: fitness mixes normalized
@@ -211,9 +231,10 @@ func newSetEvaluator(data *series.Dataset, coverWeight float64, opt core.EvalOpt
 
 // refit re-fits every rule's consequent after structural changes —
 // one batched evaluation per individual, so a backend serves the
-// whole set in a single scheduling pass.
-func (e *setEvaluator) refit(ind *individual) {
-	e.ruleEval.EvaluateAll(ind.rules)
+// whole set in a single scheduling pass. A non-nil error means the
+// context was cancelled mid-batch and the individual must not be used.
+func (e *setEvaluator) refit(ctx context.Context, ind *individual) error {
+	return e.ruleEval.EvaluateAll(ctx, ind.rules)
 }
 
 // fitness = coverWeight·coverage + (1-coverWeight)·(1 - RMSE/span),

@@ -1,6 +1,8 @@
 package pittsburgh
 
 import (
+	"context"
+
 	"math"
 	"testing"
 
@@ -58,7 +60,7 @@ func TestConfigValidate(t *testing.T) {
 
 func TestRunProducesWorkingRuleSet(t *testing.T) {
 	ds := sineDataset(t, 400, 3)
-	res, err := Run(tinyConfig(3), ds)
+	res, err := Run(context.Background(), tinyConfig(3), ds)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,11 +89,11 @@ func TestRunErrors(t *testing.T) {
 	ds := sineDataset(t, 200, 3)
 	bad := tinyConfig(1)
 	bad.PopSize = 0
-	if _, err := Run(bad, ds); err == nil {
+	if _, err := Run(context.Background(), bad, ds); err == nil {
 		t.Fatal("bad config accepted")
 	}
 	empty := &series.Dataset{D: 3, Horizon: 1}
-	if _, err := Run(tinyConfig(1), empty); err == nil {
+	if _, err := Run(context.Background(), tinyConfig(1), empty); err == nil {
 		t.Fatal("empty dataset accepted")
 	}
 }
@@ -100,7 +102,7 @@ func TestElitismMonotoneBestFitness(t *testing.T) {
 	ds := sineDataset(t, 300, 3)
 	cfg := tinyConfig(7)
 	cfg.Generations = 15
-	res, err := Run(cfg, ds)
+	res, err := Run(context.Background(), cfg, ds)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,18 +116,18 @@ func TestElitismMonotoneBestFitness(t *testing.T) {
 
 func TestDeterministicPerSeed(t *testing.T) {
 	ds := sineDataset(t, 250, 3)
-	a, err := Run(tinyConfig(9), ds)
+	a, err := Run(context.Background(), tinyConfig(9), ds)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Run(tinyConfig(9), ds)
+	b, err := Run(context.Background(), tinyConfig(9), ds)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if a.BestFitness != b.BestFitness {
 		t.Fatalf("same seed diverged: %v vs %v", a.BestFitness, b.BestFitness)
 	}
-	c, err := Run(tinyConfig(10), ds)
+	c, err := Run(context.Background(), tinyConfig(10), ds)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,169 @@
+// Command apisurface prints the exported API surface of the given
+// package directories (default: forecast, the repository's public
+// package) as one sorted line per declaration. The output is
+// committed to API.txt and diffed in CI, so any change to the public
+// API shows up in a PR's diff explicitly — the lightweight,
+// dependency-free cousin of apidiff.
+//
+//	go run ./tools/apisurface > API.txt
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"io/fs"
+	"os"
+	"sort"
+	"strings"
+)
+
+func main() {
+	dirs := os.Args[1:]
+	if len(dirs) == 0 {
+		dirs = []string{"forecast"}
+	}
+	var lines []string
+	for _, dir := range dirs {
+		ls, err := surface(dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "apisurface:", err)
+			os.Exit(1)
+		}
+		lines = append(lines, ls...)
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		fmt.Println(l)
+	}
+}
+
+// surface parses every non-test file of the package in dir and
+// returns one line per exported declaration.
+func surface(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		return nil, err
+	}
+	var lines []string
+	for name, pkg := range pkgs {
+		if strings.HasSuffix(name, "_test") {
+			continue
+		}
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				lines = append(lines, declLines(fset, name, decl)...)
+			}
+		}
+	}
+	return lines, nil
+}
+
+// declLines renders one exported declaration as zero or more stable,
+// diff-friendly lines prefixed with the package name.
+func declLines(fset *token.FileSet, pkg string, decl ast.Decl) []string {
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() {
+			return nil
+		}
+		sig := render(fset, d.Type) // "func(params) results"
+		sig = strings.TrimPrefix(sig, "func")
+		if d.Recv != nil && len(d.Recv.List) == 1 {
+			recv := render(fset, d.Recv.List[0].Type)
+			if !ast.IsExported(strings.TrimPrefix(recv, "*")) {
+				return nil
+			}
+			return []string{fmt.Sprintf("%s: method (%s) %s%s", pkg, recv, d.Name.Name, sig)}
+		}
+		return []string{fmt.Sprintf("%s: func %s%s", pkg, d.Name.Name, sig)}
+	case *ast.GenDecl:
+		var lines []string
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				lines = append(lines, typeLines(fset, pkg, s)...)
+			case *ast.ValueSpec:
+				for _, id := range s.Names {
+					if !id.IsExported() {
+						continue
+					}
+					kind := "var"
+					if d.Tok == token.CONST {
+						kind = "const"
+					}
+					line := fmt.Sprintf("%s: %s %s", pkg, kind, id.Name)
+					if s.Type != nil {
+						line += " " + render(fset, s.Type)
+					}
+					lines = append(lines, line)
+				}
+			}
+		}
+		return lines
+	}
+	return nil
+}
+
+// typeLines renders an exported type: one line for the type itself
+// plus one per exported struct field or interface method, so adding
+// or removing a field is a one-line diff.
+func typeLines(fset *token.FileSet, pkg string, s *ast.TypeSpec) []string {
+	if !s.Name.IsExported() {
+		return nil
+	}
+	name := s.Name.Name
+	eq := ""
+	if s.Assign.IsValid() {
+		eq = "= " // type alias
+	}
+	switch t := s.Type.(type) {
+	case *ast.StructType:
+		lines := []string{fmt.Sprintf("%s: type %s %sstruct", pkg, name, eq)}
+		for _, f := range t.Fields.List {
+			typ := render(fset, f.Type)
+			if len(f.Names) == 0 { // embedded
+				lines = append(lines, fmt.Sprintf("%s: field %s.%s (embedded)", pkg, name, typ))
+				continue
+			}
+			for _, id := range f.Names {
+				if id.IsExported() {
+					lines = append(lines, fmt.Sprintf("%s: field %s.%s %s", pkg, name, id.Name, typ))
+				}
+			}
+		}
+		return lines
+	case *ast.InterfaceType:
+		lines := []string{fmt.Sprintf("%s: type %s %sinterface", pkg, name, eq)}
+		for _, m := range t.Methods.List {
+			if len(m.Names) == 0 { // embedded interface
+				lines = append(lines, fmt.Sprintf("%s: ifacemethod %s.%s (embedded)", pkg, name, render(fset, m.Type)))
+				continue
+			}
+			for _, id := range m.Names {
+				if id.IsExported() {
+					sig := strings.TrimPrefix(render(fset, m.Type), "func")
+					lines = append(lines, fmt.Sprintf("%s: ifacemethod %s.%s%s", pkg, name, id.Name, sig))
+				}
+			}
+		}
+		return lines
+	default:
+		return []string{fmt.Sprintf("%s: type %s %s%s", pkg, name, eq, render(fset, s.Type))}
+	}
+}
+
+// render prints an AST node in canonical gofmt style on one line.
+func render(fset *token.FileSet, node ast.Node) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, node); err != nil {
+		return fmt.Sprintf("<%T>", node)
+	}
+	return strings.Join(strings.Fields(buf.String()), " ")
+}
