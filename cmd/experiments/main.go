@@ -57,15 +57,20 @@ func main() {
 		sc = experiments.Tiny()
 	}
 	if ef.Enabled() {
-		// Route every rule evaluation through the sharded engine;
-		// bit-identical to the single-index path at any shard count,
-		// window or rebalancing history.
+		// Route every rule evaluation through the sharded engine (or,
+		// with -remote, a cluster of shard servers); bit-identical to
+		// the single-index path at any shard count, window, remote or
+		// rebalancing history.
 		sc.EngineShards = ef.Shards()
 		if sc.EngineShards == 0 {
 			sc.EngineShards = runtime.GOMAXPROCS(0)
 		}
 		sc.EngineRebalance = ef.Rebalance()
 		sc.EngineWindow = ef.Window()
+		sc.EngineRemote = ef.Remote()
+		if sc.EngineRemote != nil {
+			fmt.Fprintln(os.Stderr, "note: -remote drives the facade-based experiments (tables, figures, horizons, noise, generalization); ablations, approaches and -stream stay in-process")
+		}
 	}
 
 	if ef.Window() > 0 && !*stream && !(*all && *extras) {

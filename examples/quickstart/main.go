@@ -1,10 +1,18 @@
 // Quickstart: evolve local prediction rules on the Mackey-Glass
 // series, inspect a rule, and forecast held-out data — the minimal
 // end-to-end tour of the public forecast API.
+//
+// The engine flags ride along: `quickstart -shards 8` trains through
+// the in-process sharded engine, and `quickstart -remote
+// host0:7070,host1:7071` scatters evaluation across shardserver
+// processes — the output is byte-identical in every case, which the
+// CI smoke job exploits by diffing a local run against a distributed
+// one.
 package main
 
 import (
 	"context"
+	"flag"
 	"fmt"
 	"log"
 
@@ -15,6 +23,8 @@ import (
 )
 
 func main() {
+	fl := forecast.RegisterFlags(flag.CommandLine) // -shards, -window, -rebalance, -remote
+	flag.Parse()
 	// 1. A workload: the Mackey-Glass chaotic series, normalized to
 	//    [0,1], split 1000 train / 500 test as in the paper.
 	trainSeries, testSeries, err := series.MackeyGlassPaper()
@@ -34,16 +44,19 @@ func main() {
 
 	// 3. Evolve: Michigan rule population, steady-state with crowding,
 	//    accumulated over executions until 95% training coverage.
-	f, err := forecast.New(
+	opts := []forecast.Option{
 		forecast.WithPopulation(50),
 		forecast.WithGenerations(4000),
 		forecast.WithMultiRun(3),
 		forecast.WithCoverageTarget(0.95),
 		forecast.WithSeed(7),
-	)
+	}
+	opts = append(opts, fl.Options()...) // engine or remote cluster: same results, more capacity
+	f, err := forecast.New(opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer f.Close()
 	if err := f.Fit(context.Background(), train); err != nil {
 		log.Fatal(err)
 	}

@@ -8,10 +8,16 @@
 // and compacted away, the shard layout is rebalanced, and the system
 // retrains on the window through the same engine and shared cache —
 // learning the new regime as fast as it forgets the old one.
+//
+// With -remote host:port,host:port the same loop runs against live
+// shardserver processes: appends scatter to the emptiest server,
+// window evictions decompose into per-server deletes, and the results
+// stay byte-identical to the in-process run.
 package main
 
 import (
 	"context"
+	"flag"
 	"fmt"
 	"log"
 
@@ -29,6 +35,9 @@ const (
 )
 
 func main() {
+	fl := forecast.RegisterFlags(flag.CommandLine) // -shards, -window, -rebalance, -remote
+	flag.Parse()
+
 	ctx := context.Background()
 	s, err := series.MackeyGlass(series.DefaultMackeyGlass(total))
 	if err != nil {
@@ -40,22 +49,40 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	window := ds.Len() // live-pattern cap: the training set never outgrows the prefix
+	window := fl.Window() // live-pattern cap; default: the training set never outgrows the prefix
+	if window <= 0 {
+		window = ds.Len()
+	}
 
-	f, err := forecast.New(
+	opts := []forecast.Option{
 		forecast.WithPopulation(40),
 		forecast.WithGenerations(2500),
 		forecast.WithMultiRun(2),
 		forecast.WithCoverageTarget(0.95),
 		forecast.WithSeed(1),
-		forecast.WithEngine(4),
+	}
+	// Distributed or in-process store — only the store option differs;
+	// the shared cache, sliding window and rebalancing setup (and the
+	// results) are identical either way. -shards and -window override
+	// the example's defaults (4 in-process shards, window = prefix).
+	store := forecast.WithEngine(4)
+	switch {
+	case fl.Remote() != nil:
+		store = forecast.WithRemoteCluster(fl.Remote()...)
+	case fl.Enabled():
+		store = forecast.WithEngine(fl.Shards()) // 0 = one shard per core
+	}
+	opts = append(opts,
+		store,
 		forecast.WithSharedCache(),
 		forecast.WithSlidingWindow(window),
 		forecast.WithRebalance(),
 	)
+	f, err := forecast.New(opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer f.Close()
 	if err := f.Fit(ctx, ds); err != nil {
 		log.Fatal(err)
 	}

@@ -36,12 +36,31 @@ func TestFlagsSharedWiring(t *testing.T) {
 	if f := parse("-window", "-3"); f.Enabled() || f.Window() != 0 {
 		t.Fatalf("negative -window must clamp to unbounded, got %d", f.Window())
 	}
+	if f := parse("-remote", "a:1, b:2,,c:3"); !f.Enabled() {
+		t.Fatal("-remote must enable the store")
+	} else if got := f.Remote(); len(got) != 3 || got[0] != "a:1" || got[1] != "b:2" || got[2] != "c:3" {
+		t.Fatalf("-remote parsed to %v", got)
+	}
+	if f := parse(); f.Remote() != nil {
+		t.Fatal("no -remote: Remote() must be nil")
+	}
+	// -remote of only commas must fail loudly at New, never silently
+	// fall back to the in-process engine.
+	if f := parse("-remote", ", ,"); !f.Enabled() {
+		t.Fatal("-remote ', ,' must still enable the store path")
+	} else if _, err := New(f.Options()...); err == nil {
+		t.Fatal("New must reject a -remote with no usable addresses")
+	}
 
 	// The resolved option sets build valid Forecasters.
 	for _, args := range [][]string{
 		{"-shards", "4"},
 		{"-window", "100", "-rebalance"},
 		{"-shards", "-1", "-window", "50"},
+		{"-remote", "h0:7070,h1:7071"},
+		{"-remote", "h0:7070", "-window", "100", "-rebalance"},
+		// -shards with -remote is documented as ignored, not an error.
+		{"-remote", "h0:7070", "-shards", "8"},
 	} {
 		f := parse(args...)
 		if _, err := New(f.Options()...); err != nil {

@@ -32,9 +32,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/remote"
 	"repro/internal/series"
 )
 
@@ -97,6 +99,31 @@ var ErrNotFitted = errors.New("forecast: Fit has not produced a rule system yet"
 // when the Forecaster was built without WithEngine.
 var ErrNoEngine = errors.New("forecast: streaming requires WithEngine (or WithSlidingWindow)")
 
+// ErrRemote marks every remote-cluster transport failure: dial
+// errors, dropped or timed-out shard-server connections, protocol
+// violations. Fit and Append over a WithRemoteCluster Forecaster wrap
+// it (via errors.Is) when a server is lost — the run aborts loudly
+// instead of hanging or training against incomplete matched sets.
+var ErrRemote error = remote.ErrTransport
+
+// store is what Fit installs behind the facade: the core lifecycle
+// contract plus the observability hooks StoreStats renders. Both the
+// in-process engine and the remote scatter/gather cluster satisfy it.
+type store interface {
+	core.Store
+	P() int
+	LiveSpread() (lo, hi int)
+	Cache() *engine.SharedCache
+}
+
+// closeStore releases a store's external resources (a remote
+// cluster's connections); in-process engines hold none.
+func closeStore(st store) {
+	if c, ok := st.(io.Closer); ok {
+		c.Close()
+	}
+}
+
 // Forecaster is the facade over the evolutionary engine. Build it
 // with New, train it with Fit, and use it as a predictor; with
 // WithEngine it also manages the training data's lifecycle (streaming
@@ -108,7 +135,7 @@ var ErrNoEngine = errors.New("forecast: streaming requires WithEngine (or WithSl
 type Forecaster struct {
 	s    settings
 	data *Dataset
-	eng  *engine.Engine
+	eng  store
 	rs   *RuleSet
 	fit  FitStats
 }
@@ -150,37 +177,82 @@ func (f *Forecaster) Fit(ctx context.Context, ds *Dataset) error {
 			ErrOption, f.s.horizon, ds.Horizon)
 	}
 	data := ds
-	var eng *engine.Engine
-	if f.s.engine {
-		eng = engine.New(ds, engine.Options{
+	var st store
+	switch {
+	case len(f.s.remote) > 0:
+		// Every Fit dials a fresh cluster and scatters the dataset —
+		// the distributed mirror of building a fresh engine below.
+		// The previous fit's cluster (if any) points at the very
+		// servers this Load is about to overwrite: retire it first,
+		// so even a failed new fit cannot leave streaming verbs
+		// silently remapping the new server data onto the old view —
+		// they fail loudly with ErrRemote instead.
+		if old, ok := f.eng.(*remote.Cluster); ok {
+			old.Retire()
+		}
+		cl, err := remote.Dial(ctx, f.s.remote, remote.Options{
+			Workers:   f.s.workers,
+			Rebalance: f.s.rebalance,
+		})
+		if err != nil {
+			return fmt.Errorf("forecast: remote cluster: %w", err)
+		}
+		if err := cl.Load(ctx, ds); err != nil {
+			cl.Close()
+			return fmt.Errorf("forecast: remote cluster: %w", err)
+		}
+		st = cl
+	case f.s.engine:
+		st = engine.New(ds, engine.Options{
 			Shards:    f.s.shards,
 			Workers:   f.s.workers,
 			Rebalance: f.s.rebalance,
 		})
+	}
+	if st != nil {
 		if f.s.slidingWin > 0 {
-			eng.Window(f.s.slidingWin)
+			st.Window(f.s.slidingWin)
 		}
 		// Compact so Data() is exactly the live rows before training
 		// (also done by the config wiring; explicit keeps it obvious).
-		eng.Compact()
-		data = eng.Data()
+		st.Compact()
+		data = st.Data()
 		if data.Len() == 0 {
+			closeStore(st)
 			return fmt.Errorf("%w: sliding window left no training patterns", ErrData)
 		}
 	}
-	rs, stats, err := f.train(ctx, data, eng)
+	rs, stats, err := f.train(ctx, data, st)
 	if rs == nil || (err != nil && stats.Executions == 0) {
-		// Config/data error, or cancelled before any execution ran:
-		// there is no best-so-far to install, keep the previous fit.
+		// Config/data/transport error, or cancelled before any
+		// execution ran: there is no best-so-far to install, keep the
+		// previous fit.
+		if st != nil {
+			closeStore(st)
+		}
 		return err
 	}
-	f.data, f.eng, f.rs, f.fit = data, eng, rs, stats
+	if f.eng != nil && f.eng != st {
+		closeStore(f.eng) // the previous fit's cluster, if any
+	}
+	f.data, f.eng, f.rs, f.fit = data, st, rs, stats
 	return err // nil, or ctx.Err() with the best-so-far system installed
+}
+
+// Close releases the resources the training store holds outside the
+// process — a remote cluster's server connections. In-process
+// Forecasters hold none and Close is a no-op. The fitted system keeps
+// predicting after Close; only the streaming verbs need the store.
+func (f *Forecaster) Close() error {
+	if c, ok := f.eng.(io.Closer); ok {
+		return c.Close()
+	}
+	return nil
 }
 
 // config assembles the core hyperparameter configuration for the
 // current settings and dataset.
-func (f *Forecaster) config(data *Dataset, eng *engine.Engine) core.Config {
+func (f *Forecaster) config(data *Dataset, eng store) core.Config {
 	cfg := core.Default(data.D)
 	cfg.Horizon = data.Horizon
 	if f.s.popSize > 0 {
@@ -209,7 +281,7 @@ func (f *Forecaster) config(data *Dataset, eng *engine.Engine) core.Config {
 // islands) and reduces the outcome to a rule set plus statistics. A
 // nil rule set means nothing trained (configuration error); a non-nil
 // rule set with a non-nil error is a cancelled run's best-so-far.
-func (f *Forecaster) train(ctx context.Context, data *Dataset, eng *engine.Engine) (*RuleSet, FitStats, error) {
+func (f *Forecaster) train(ctx context.Context, data *Dataset, eng store) (*RuleSet, FitStats, error) {
 	cfg := f.config(data, eng)
 	if isl := f.s.islands; isl != nil {
 		res, err := core.RunIslands(ctx, core.IslandConfig{

@@ -41,11 +41,13 @@ type settings struct {
 
 	islands *islandSettings
 
-	engine      bool
-	shards      int
-	rebalance   bool
-	slidingWin  int
-	sharedCache bool
+	engine         bool
+	engineExplicit bool
+	shards         int
+	rebalance      bool
+	slidingWin     int
+	sharedCache    bool
+	remote         []string
 
 	progress      func(Progress) bool
 	progressEvery int
@@ -201,14 +203,48 @@ func WithEngine(shards int) Option {
 			return fmt.Errorf("%w: WithEngine(%d) must be non-negative (0 = one shard per core)", ErrOption, shards)
 		}
 		s.engine = true
+		s.engineExplicit = true
 		s.shards = shards
 		return nil
 	}
 }
 
-// WithRebalance enables the engine's adaptive shard split/merge
-// policy, keeping live shard sizes within a 2x spread under skewed
-// streams. Implies WithEngine.
+// WithRemoteCluster routes every rule evaluation through a cluster of
+// shard servers (cmd/shardserver) instead of the in-process engine:
+// Fit scatters the training set across the servers (contiguous
+// slices, mirroring the in-process shard layout), whole generations
+// are matched by scatter/gather RPCs, and the streaming verbs
+// (Append/Evict, sliding windows) decompose into per-server
+// mutations. Results are bit-identical to the in-process paths for a
+// fixed seed — distribution is purely a capacity knob.
+//
+// The Forecaster becomes the cluster's single writer; no other client
+// may mutate the same servers. A lost server surfaces as an error
+// wrapping ErrRemote from Fit/Append (never a hang, never silently
+// wrong rules); the next Fit dials a fresh cluster. Call Close to
+// release the connections when done. Mutually exclusive with
+// WithEngine; WithSlidingWindow, WithRebalance and WithSharedCache
+// compose with it (the shared cache lives client-side, keyed by the
+// cluster's composite epoch).
+func WithRemoteCluster(addrs ...string) Option {
+	return func(s *settings) error {
+		if len(addrs) == 0 {
+			return fmt.Errorf("%w: WithRemoteCluster needs at least one server address", ErrOption)
+		}
+		for _, a := range addrs {
+			if a == "" {
+				return fmt.Errorf("%w: WithRemoteCluster with an empty server address", ErrOption)
+			}
+		}
+		s.remote = append([]string(nil), addrs...)
+		return nil
+	}
+}
+
+// WithRebalance enables the store's adaptive rebalancing policy,
+// keeping live shard sizes within a 2x spread under skewed streams.
+// Implies WithEngine; with WithRemoteCluster it instead asks every
+// shard server to rebalance its own shards after each mutation.
 func WithRebalance() Option {
 	return func(s *settings) error {
 		s.engine = true
@@ -220,7 +256,8 @@ func WithRebalance() Option {
 // WithSlidingWindow caps the live training set at the newest n
 // patterns: Fit trims its dataset to the window, and every Append
 // evicts (and compacts away) whatever the new data pushes out.
-// Implies WithEngine — the window is a lifecycle-store feature.
+// Implies WithEngine (or composes with WithRemoteCluster) — the
+// window is a lifecycle-store feature.
 func WithSlidingWindow(n int) Option {
 	return func(s *settings) error {
 		if n < 1 {
@@ -236,8 +273,9 @@ func WithSlidingWindow(n int) Option {
 // execution, island and refit of this Forecaster, so repeated
 // evaluations of the same rule signature are computed once. Cache
 // keys embed the data epoch and evaluator parameters, so sharing
-// never changes results. Requires WithEngine: cache keys are scoped
-// by the engine's dataset identity and epoch.
+// never changes results. Requires WithEngine or WithRemoteCluster:
+// cache keys are scoped by the store's dataset identity and epoch
+// (for a cluster, the composite epoch spanning every server).
 func WithSharedCache() Option {
 	return func(s *settings) error {
 		s.sharedCache = true
@@ -269,8 +307,11 @@ func (s *settings) validate() error {
 	if s.islands != nil && s.multiRun > 0 {
 		return fmt.Errorf("%w: WithIslands and WithMultiRun are mutually exclusive", ErrOption)
 	}
-	if s.sharedCache && !s.engine {
-		return fmt.Errorf("%w: WithSharedCache requires WithEngine (cache keys are scoped by the engine's dataset identity and epoch)", ErrOption)
+	if len(s.remote) > 0 && s.engineExplicit {
+		return fmt.Errorf("%w: WithRemoteCluster and WithEngine are mutually exclusive (the cluster's servers shard server-side; set -shards on each shardserver)", ErrOption)
+	}
+	if s.sharedCache && !s.engine && len(s.remote) == 0 {
+		return fmt.Errorf("%w: WithSharedCache requires WithEngine or WithRemoteCluster (cache keys are scoped by the store's dataset identity and epoch)", ErrOption)
 	}
 	if s.islands != nil && s.popSize > 0 && s.islands.migrants >= s.popSize {
 		return fmt.Errorf("%w: WithIslands migrants %d must be smaller than the population (%d)", ErrOption, s.islands.migrants, s.popSize)

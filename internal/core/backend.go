@@ -45,9 +45,11 @@ type Backend interface {
 
 // Store widens Backend into a lifecycle-managed training store: data
 // can leave as well as arrive, so streaming workloads keep a sliding
-// window instead of a grow-only set. The sharded engine implements it;
-// a future network transport (shard servers behind a scatter/gather
-// client) would speak the same contract.
+// window instead of a grow-only set. Two implementations speak the
+// contract today: the in-process sharded engine (internal/engine) and
+// the distributed scatter/gather client over shard servers
+// (internal/remote), which takes the same shard layout multi-node
+// while staying bit-identical — the evaluator cannot tell them apart.
 //
 // Every mutation must bump Epoch before it returns, exactly as
 // appends do today — evaluation-cache keys embed the epoch, so a
@@ -90,6 +92,21 @@ type Store interface {
 	// LiveLen returns the number of live rows — Data().Len() minus
 	// rows tombstoned but not yet compacted away.
 	LiveLen() int
+}
+
+// BackendHealth is an optional interface a Backend implements when
+// its match path can fail out-of-band — a network transport losing a
+// shard server mid-run. BackendErr returns the first such failure
+// (sticky: once non-nil it stays non-nil) or nil while the backend is
+// healthy. MatchIndices/MatchBatch cannot return errors, so a faulted
+// backend answers with incomplete sets; the evaluator therefore
+// checks BackendErr after every match query and refuses to cache or
+// apply anything computed from a faulted backend, and the run loops
+// (Execution.Run and friends) surface the error instead of silently
+// evolving against wrong matched sets. In-process backends never
+// fault and simply do not implement the interface.
+type BackendHealth interface {
+	BackendErr() error
 }
 
 // EvalCache is the pluggable evaluation-result cache. The default is

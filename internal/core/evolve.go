@@ -85,8 +85,12 @@ func NewExecution(cfg Config, data *series.Dataset) (*Execution, error) {
 
 	ex.Pop = InitStratified(data, cfg.PopSize)
 	// Construction is bounded work (one batch over PopSize rules), so
-	// it is not cancellable; the run loops are where budget goes.
-	ex.Eval.EvaluateAll(context.Background(), ex.Pop)
+	// it is not cancellable; the run loops are where budget goes. The
+	// background context means the only possible error is a backend
+	// fault (a lost shard server) — fatal for the execution.
+	if err := ex.Eval.EvaluateAll(context.Background(), ex.Pop); err != nil {
+		return nil, fmt.Errorf("core: initial population evaluation: %w", err)
+	}
 	return ex, nil
 }
 
@@ -139,16 +143,22 @@ func (ex *Execution) Step() bool {
 // cancelled or expired context stops the loop promptly and Run returns
 // ctx.Err(), with the population left as a valid best-so-far snapshot
 // (every rule carries a complete evaluation — steps are atomic, so
-// cancellation can never publish a torn individual). A nil error means
-// the full budget was spent.
+// cancellation can never publish a torn individual). A backend fault
+// (BackendHealth, e.g. a lost shard server) also stops the loop and
+// is returned instead — the population then still holds only complete
+// pre-fault evaluations, never results computed from truncated
+// matches. A nil error means the full budget was spent.
 func (ex *Execution) Run(ctx context.Context) error {
 	for g := 0; g < ex.Config.Generations; g++ {
-		if ctx.Err() != nil {
+		if ctx.Err() != nil || ex.Eval.BackendErr() != nil {
 			break
 		}
 		ex.Step()
 	}
 	ex.refreshStats()
+	if err := ex.Eval.BackendErr(); err != nil {
+		return err
+	}
 	return ctx.Err()
 }
 

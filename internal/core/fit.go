@@ -112,6 +112,17 @@ func (e *Evaluator) Index() *MatchIndex { return e.idx }
 // on its own single index.
 func (e *Evaluator) Backend() Backend { return e.backend }
 
+// BackendErr reports the backend's sticky out-of-band failure (see
+// BackendHealth), or nil for healthy and in-process backends. The run
+// loops poll it between generations so a lost shard server aborts the
+// run with an error instead of evolving against incomplete matches.
+func (e *Evaluator) BackendErr() error {
+	if h, ok := e.backend.(BackendHealth); ok {
+		return h.BackendErr()
+	}
+	return nil
+}
+
 // MatchIndices returns the indices of training patterns matched by
 // the rule — the paper's C_R(S) — in ascending order. With a backend
 // the query fans out across its shards; otherwise selective rules are
@@ -199,14 +210,15 @@ func (e *Evaluator) Evaluate(r *Rule) {
 		c.apply(r)
 		return
 	}
-	e.evaluateUncached(r)
+	idx := e.MatchIndices(r)
+	if e.BackendErr() != nil {
+		// A faulted backend returns incomplete matched sets: leave the
+		// rule's prior evaluation intact and cache nothing. The run
+		// loops poll BackendErr and abort with the failure.
+		return
+	}
+	e.evalFromMatches(r, idx)
 	e.cache.Put(key, resultOf(r))
-}
-
-// evaluateUncached is the full evaluation: match query, regression,
-// fitness gate.
-func (e *Evaluator) evaluateUncached(r *Rule) {
-	e.evalFromMatches(r, e.MatchIndices(r))
 }
 
 // evalFromMatches is the post-match half of an evaluation: given the
@@ -296,7 +308,12 @@ func (e *Evaluator) EvaluateAll(ctx context.Context, rules []*Rule) error {
 	// Each iteration is one complete rule evaluation (match, regression
 	// and cache insert are atomic per rule), so stopping between
 	// iterations can never publish a torn result.
-	return parallel.ForCtx(ctx, len(rules), e.workers, func(i int) { serial.Evaluate(rules[i]) })
+	if err := parallel.ForCtx(ctx, len(rules), e.workers, func(i int) { serial.Evaluate(rules[i]) }); err != nil {
+		return err
+	}
+	// Evaluate cannot report a backend fault itself (it skips the rule
+	// instead); surface it here so batch callers see the failure.
+	return e.BackendErr()
 }
 
 // EvaluateBatch evaluates a whole generation of rules through the
@@ -349,6 +366,12 @@ func (e *Evaluator) EvaluateBatch(ctx context.Context, rules []*Rule) error {
 			// The matched sets may be truncated: drop the whole batch on
 			// the floor. Nothing has been cached or applied yet, so the
 			// rules' prior evaluations stay intact.
+			return err
+		}
+		if err := e.BackendErr(); err != nil {
+			// Same discard for an out-of-band backend fault (a lost
+			// shard server): the sets are untrustworthy, cache and
+			// rules stay untouched, the caller gets the failure.
 			return err
 		}
 		fresh := make([]*EvalResult, len(work))

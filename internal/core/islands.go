@@ -106,12 +106,20 @@ func RunIslands(ctx context.Context, cfg IslandConfig, data *series.Dataset) (*I
 		// island is left on a complete generation).
 		parallel.For(cfg.Islands, cfg.Parallelism, func(i int) {
 			for g := 0; g < epoch; g++ {
-				if ctx.Err() != nil {
+				if ctx.Err() != nil || islands[i].Eval.BackendErr() != nil {
 					return
 				}
 				islands[i].Step()
 			}
 		})
+		// A backend fault (a lost shard server) poisons every island —
+		// they share the backend — so the whole run aborts: rules
+		// evolved against a failing match path are not a best-so-far.
+		for _, ex := range islands {
+			if err := ex.Eval.BackendErr(); err != nil {
+				return nil, err
+			}
+		}
 		remaining -= epoch
 		if cfg.OnProgress != nil {
 			stop := false

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 
@@ -117,15 +118,22 @@ func MultiRun(ctx context.Context, cfg MultiRunConfig, data *series.Dataset) (*M
 			// A cancelled run is not an error here: the execution's
 			// best-so-far rules still join the accumulated system, and
 			// the loop condition surfaces ctx.Err() once the wave drains.
+			// Any other run error (a backend fault) is fatal — its rules
+			// were evolved against a failing match path.
+			var runErr error
 			if cfg.OnProgress != nil {
 				exec := done + i
-				ex.RunWithProgress(ctx, cfg.ProgressEvery, func(p Progress) bool {
+				runErr = ex.RunWithProgress(ctx, cfg.ProgressEvery, func(p Progress) bool {
 					progressMu.Lock()
 					defer progressMu.Unlock()
 					return cfg.OnProgress(exec, p)
 				})
 			} else {
-				ex.Run(ctx)
+				runErr = ex.Run(ctx)
+			}
+			if runErr != nil && !errors.Is(runErr, ctx.Err()) {
+				outs[i] = runOut{err: runErr}
+				return
 			}
 			outs[i] = runOut{rules: ex.ValidRules(), stats: ex.Stats}
 		})

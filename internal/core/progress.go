@@ -43,7 +43,7 @@ func (ex *Execution) RunWithProgress(ctx context.Context, every int, fn func(Pro
 		every = 1
 	}
 	for g := 0; g < ex.Config.Generations; g++ {
-		if ctx.Err() != nil {
+		if ctx.Err() != nil || ex.Eval.BackendErr() != nil {
 			break
 		}
 		ex.Step()
@@ -55,6 +55,9 @@ func (ex *Execution) RunWithProgress(ctx context.Context, every int, fn func(Pro
 	}
 	ex.refreshStats()
 	fn(ex.snapshot())
+	if err := ex.Eval.BackendErr(); err != nil {
+		return err
+	}
 	return ctx.Err()
 }
 
@@ -71,7 +74,7 @@ func (ex *Execution) RunUntilStagnant(ctx context.Context, patience int) (int, e
 	idle := 0
 	ran := 0
 	for g := 0; g < ex.Config.Generations; g++ {
-		if ctx.Err() != nil {
+		if ctx.Err() != nil || ex.Eval.BackendErr() != nil {
 			break
 		}
 		if ex.Step() {
@@ -85,5 +88,8 @@ func (ex *Execution) RunUntilStagnant(ctx context.Context, patience int) (int, e
 		}
 	}
 	ex.refreshStats()
+	if err := ex.Eval.BackendErr(); err != nil {
+		return ran, err
+	}
 	return ran, ctx.Err()
 }

@@ -115,7 +115,14 @@ func (e *Engine) Configure(cfg *core.Config) {
 // releases their memory. Like every mutation, it must not run
 // concurrently with evaluation.
 func (e *Engine) Append(inputs [][]float64, targets []float64) error {
-	if err := e.Shards.Append(inputs, targets); err != nil {
+	return e.AppendRows(inputs, targets, nil)
+}
+
+// AppendRows is Append with caller-chosen stable ids (see
+// Shards.AppendRows) — the hook the remote shard server uses to adopt
+// globally assigned RowIDs.
+func (e *Engine) AppendRows(inputs [][]float64, targets []float64, ids []series.RowID) error {
+	if err := e.Shards.AppendRows(inputs, targets, ids); err != nil {
 		return err
 	}
 	e.cache.Invalidate()

@@ -166,7 +166,7 @@ func NewShardsOpt(data *series.Dataset, opt Options) *Shards {
 	// Stable row identity: adopt the dataset's ids when it already has
 	// ascending ones (a store handing data across engines), otherwise
 	// number rows by position.
-	if ascendingIDs(data) {
+	if data.HasAscendingIDs() {
 		s.nextID = data.IDs[n-1] + 1
 	} else {
 		s.nextID = data.AssignIDs(0)
@@ -200,21 +200,6 @@ func NewShardsOpt(data *series.Dataset, opt Options) *Shards {
 		s.parts[i] = sh
 	})
 	return s
-}
-
-// ascendingIDs reports whether the dataset carries a usable id per
-// row, in strictly ascending order (the invariant every engine
-// mutation preserves).
-func ascendingIDs(data *series.Dataset) bool {
-	if !data.HasIDs() {
-		return false
-	}
-	for i := 1; i < len(data.IDs); i++ {
-		if data.IDs[i] <= data.IDs[i-1] {
-			return false
-		}
-	}
-	return true
 }
 
 // P returns the current number of shards. Rebalancing splits and
@@ -330,8 +315,22 @@ func (s *Shards) LiveSpread() (lo, hi int) {
 // Append returns. Returns an error when a pattern's width does not
 // match the dataset's D or inputs and targets disagree in length.
 func (s *Shards) Append(inputs [][]float64, targets []float64) error {
+	return s.AppendRows(inputs, targets, nil)
+}
+
+// AppendRows is Append with caller-chosen stable ids — the remote
+// shard server's hook: a scatter/gather client owns the global RowID
+// space, so each server must adopt the ids its slice of a chunk was
+// assigned instead of numbering rows itself. ids must be strictly
+// ascending and greater than every id already in the store (the
+// invariant all mutations preserve); nil means number the rows
+// automatically, which is exactly Append.
+func (s *Shards) AppendRows(inputs [][]float64, targets []float64, ids []series.RowID) error {
 	if len(inputs) != len(targets) {
 		return fmt.Errorf("engine: Append with %d inputs but %d targets", len(inputs), len(targets))
+	}
+	if ids != nil && len(ids) != len(inputs) {
+		return fmt.Errorf("engine: AppendRows with %d inputs but %d ids", len(inputs), len(ids))
 	}
 	for i, row := range inputs {
 		if len(row) != s.data.D {
@@ -344,12 +343,27 @@ func (s *Shards) Append(inputs [][]float64, targets []float64) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 
+	if ids != nil {
+		prev := s.nextID - 1
+		for i, id := range ids {
+			if id <= prev {
+				return fmt.Errorf("engine: AppendRows id %d at %d is not ascending past %d", id, i, prev)
+			}
+			prev = id
+		}
+	}
+
 	base := s.data.Len()
 	s.data.Inputs = append(s.data.Inputs, inputs...)
 	s.data.Targets = append(s.data.Targets, targets...)
-	for range inputs {
-		s.data.IDs = append(s.data.IDs, s.nextID)
-		s.nextID++
+	if ids != nil {
+		s.data.IDs = append(s.data.IDs, ids...)
+		s.nextID = ids[len(ids)-1] + 1
+	} else {
+		for range inputs {
+			s.data.IDs = append(s.data.IDs, s.nextID)
+			s.nextID++
+		}
 	}
 
 	// Route the whole chunk to the shard with the fewest live rows:

@@ -58,7 +58,15 @@ func ruleSystemRun(ctx context.Context, train, val *series.Dataset, sc Scale, se
 	if sc.Coverage > 0 && sc.Coverage <= 1 {
 		opts = append(opts, forecast.WithCoverageTarget(sc.Coverage))
 	} // outside (0,1]: no early-stop target, every execution runs
-	if sc.EngineShards > 0 {
+	switch {
+	case len(sc.EngineRemote) > 0:
+		// Scatter evaluation across live shard servers; one
+		// client-side result cache shared across the executions.
+		opts = append(opts, forecast.WithRemoteCluster(sc.EngineRemote...), forecast.WithSharedCache())
+		if sc.EngineRebalance {
+			opts = append(opts, forecast.WithRebalance())
+		}
+	case sc.EngineShards > 0:
 		// Sharded, batched evaluation with one result cache shared
 		// across the accumulated executions.
 		opts = append(opts, forecast.WithEngine(sc.EngineShards), forecast.WithSharedCache())
@@ -74,6 +82,7 @@ func ruleSystemRun(ctx context.Context, train, val *series.Dataset, sc Scale, se
 	if err != nil {
 		return nil, nil, nil, err
 	}
+	defer f.Close() // releases remote-cluster connections; no-op in-process
 	if err := f.Fit(ctx, train); err != nil {
 		return nil, nil, nil, err
 	}

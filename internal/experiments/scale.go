@@ -53,6 +53,14 @@ type Scale struct {
 	// evicts and compacts older rows each round (cmd/experiments:
 	// -window). 0 lets each scenario pick its own window.
 	EngineWindow int
+
+	// EngineRemote routes the facade-driven experiments (tables,
+	// figures, horizons, noise, generalization) through a cluster of
+	// shard servers at these addresses instead of an in-process
+	// engine (cmd/experiments: -remote). Results are bit-identical;
+	// the direct-core scenarios (ablations, approaches, stream) stay
+	// in-process.
+	EngineRemote []string
 }
 
 // engineOptions resolves the scale's engine knobs into one option

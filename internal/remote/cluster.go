@@ -1,0 +1,911 @@
+package remote
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/parallel"
+	"repro/internal/series"
+)
+
+// Options configures a Cluster.
+type Options struct {
+	// Workers bounds the goroutines used for the per-server fan-out
+	// and the per-rule merge (0 = GOMAXPROCS).
+	Workers int
+	// CacheCapacity bounds each generation of the client-side shared
+	// result cache (0 = engine.DefaultCacheCapacity).
+	CacheCapacity int
+	// Timeout caps every RPC issued without a caller deadline: the
+	// mutation verbs (the core.Store lifecycle methods carry no
+	// context) and match passes whose caller context has no deadline
+	// of its own — a server that stops responding without closing its
+	// connection must surface as an error, never a hang. Raise it for
+	// datasets whose per-server match pass legitimately runs long, or
+	// put a deadline on the training context to take over entirely.
+	// 0 means DefaultTimeout; negative disables the cap.
+	Timeout time.Duration
+	// Rebalance mirrors engine.Options.Rebalance at cluster level:
+	// after every mutation each server runs its adaptive split/merge
+	// policy, keeping per-server shard layouts balanced under skewed
+	// streams. Purely a layout knob — results are bit-identical with
+	// it on or off.
+	Rebalance bool
+}
+
+// DefaultTimeout bounds mutation RPCs when Options.Timeout is unset,
+// so a hung server surfaces as a wrapped error instead of a deadlock.
+const DefaultTimeout = 30 * time.Second
+
+// Cluster is the scatter/gather client over a set of shard servers.
+// It implements the full core.Store contract — the same one the
+// in-process engine speaks — so evaluators, multi-run waves, islands
+// and the facade run unchanged against data spread over machines:
+//
+//   - Load scatters a dataset across the servers (contiguous slices,
+//     mirroring the in-process shard layout); Sync instead adopts
+//     rows the servers already hold.
+//   - MatchBatch sends one whole generation to every server
+//     concurrently, and merges the per-server ascending RowID answers
+//     through a global RowID→position remap into ascending positions
+//     over the merged view — bit-identical to the in-process engine
+//     over the same live rows.
+//   - The lifecycle verbs (Append/Delete/Window/Compact/Rebalance)
+//     decompose into per-owner RPCs; the client keeps the global
+//     bookkeeping (merged view, ownership, tombstones) and a
+//     composite epoch so the shared evaluation cache stays
+//     bypass-proof across remote mutations.
+//
+// A Cluster is the single writer of its servers: mutations must not
+// run concurrently with evaluation (the same exclusion the engine
+// requires), and no other client may mutate the same servers. Any
+// transport failure is sticky (BackendErr): the cluster refuses
+// further work and the training loop aborts with a wrapped error
+// rather than evolving against incomplete matched sets.
+type Cluster struct {
+	conns   []*conn
+	workers int
+	timeout time.Duration
+	cache   *engine.SharedCache
+	auto    bool // per-server rebalance after every mutation
+
+	mu     sync.RWMutex
+	data   *series.Dataset // merged view: all resident rows, insertion (ascending-RowID) order
+	owner  []int32         // owner[pos]: server index holding that row
+	dead   []uint64        // client-side tombstone bitmap over positions
+	deadN  int
+	liveBy []int    // live rows per server (append routing, LiveSpread)
+	epochs []uint64 // last known per-server epochs
+	local  uint64   // cluster-level mutations (composite epoch component)
+	nextID series.RowID
+
+	epoch atomic.Uint64 // composite epoch, kept hot for per-evaluation reads
+	fail  atomic.Pointer[error]
+}
+
+// NewCluster builds a cluster over one conn per dialer; no IO happens
+// until Load, Sync or the first RPC. Use Dial for the common
+// eager-connect TCP path.
+func NewCluster(dialers []Dialer, opt Options) (*Cluster, error) {
+	if len(dialers) == 0 {
+		return nil, fmt.Errorf("remote: a cluster needs at least one server")
+	}
+	if opt.Workers < 0 {
+		opt.Workers = 0
+	}
+	switch {
+	case opt.Timeout == 0:
+		opt.Timeout = DefaultTimeout
+	case opt.Timeout < 0:
+		opt.Timeout = 0
+	}
+	c := &Cluster{
+		conns:   make([]*conn, len(dialers)),
+		workers: opt.Workers,
+		timeout: opt.Timeout,
+		cache:   engine.NewSharedCache(opt.CacheCapacity),
+		auto:    opt.Rebalance,
+		liveBy:  make([]int, len(dialers)),
+		epochs:  make([]uint64, len(dialers)),
+	}
+	for si, d := range dialers {
+		c.conns[si] = &conn{dial: d, onRedial: c.redialCheck(si)}
+	}
+	return c, nil
+}
+
+// Dial connects to the given shard-server addresses (TCP host:port)
+// and verifies every one is reachable before returning. The context
+// bounds the dials.
+func Dial(ctx context.Context, addrs []string, opt Options) (*Cluster, error) {
+	dialers := make([]Dialer, len(addrs))
+	for i, a := range addrs {
+		dialers[i] = TCP(a)
+	}
+	c, err := NewCluster(dialers, opt)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.fan(nil, func(si int) error {
+		_, err := c.conns[si].roundTrip(ctx, []byte{opEpoch})
+		return err
+	}); err != nil {
+		c.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// redialCheck verifies a reconnected server still holds the state the
+// cluster last saw — a restarted server lost its slice and must fail
+// loudly. Reconnects happen after a cancelled query poisoned the
+// connection mid-frame; queries never mutate, so epoch and live count
+// are exact invariants.
+func (c *Cluster) redialCheck(si int) func(rt func([]byte) ([]byte, error)) error {
+	return func(rt func([]byte) ([]byte, error)) error {
+		resp, err := rt([]byte{opEpoch})
+		if err != nil {
+			return err
+		}
+		d := &dec{b: resp}
+		if got, want := d.u64(), c.epochs[si]; d.err != nil || got != want {
+			return fmt.Errorf("%w: %s: epoch %d after reconnect, want %d (server restarted or mutated behind our back)",
+				ErrTransport, c.conns[si].dial.Addr(), got, want)
+		}
+		resp, err = rt([]byte{opLiveLen})
+		if err != nil {
+			return err
+		}
+		d = &dec{b: resp}
+		if got, want := int(d.uvarint()), c.liveBy[si]; d.err != nil || got != want {
+			return fmt.Errorf("%w: %s: %d live rows after reconnect, want %d",
+				ErrTransport, c.conns[si].dial.Addr(), got, want)
+		}
+		return nil
+	}
+}
+
+// Close shuts every server connection down. The servers keep their
+// slices; a new cluster can Sync onto them.
+func (c *Cluster) Close() error {
+	for _, cn := range c.conns {
+		cn.close()
+	}
+	return nil
+}
+
+// Retire permanently poisons the cluster and closes its connections:
+// every later query returns results the evaluator refuses, every
+// mutation returns the sticky error. forecast.Fit retires the
+// previous fit's cluster before scattering a new dataset onto the
+// same servers — from that point the old merged view describes no
+// server state, and RowID overlap would otherwise let a stale client
+// remap the new data's matches onto the old view silently.
+func (c *Cluster) Retire() {
+	c.setFail(fmt.Errorf("%w: cluster retired: its servers were re-loaded by a newer Fit", ErrTransport))
+	c.Close()
+}
+
+// Cache returns the cluster's client-side shared result cache — the
+// evaluation cache lives with the evaluator, not the servers, since
+// all regression math is client-side.
+func (c *Cluster) Cache() *engine.SharedCache { return c.cache }
+
+// P returns the number of shard servers.
+func (c *Cluster) P() int { return len(c.conns) }
+
+// BackendErr reports the cluster's sticky transport failure
+// (core.BackendHealth): the first dial/IO/protocol error or state
+// divergence. Once set, queries return incomplete results the
+// evaluator refuses to use, and mutations refuse to run — the cluster
+// must be rebuilt.
+func (c *Cluster) BackendErr() error {
+	if p := c.fail.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+func (c *Cluster) setFail(err error) {
+	if err == nil {
+		return
+	}
+	// Everything sticky is a cluster failure by definition — wrap
+	// server-reported rejections too, so errors.Is(err, ErrTransport)
+	// holds for every way a cluster can die.
+	if !errors.Is(err, ErrTransport) {
+		err = fmt.Errorf("%w: %v", ErrTransport, err)
+	}
+	c.fail.CompareAndSwap(nil, &err)
+}
+
+// opCtx bounds RPCs issued without a caller context (the core.Store
+// lifecycle verbs).
+func (c *Cluster) opCtx() (context.Context, context.CancelFunc) {
+	if c.timeout > 0 {
+		return context.WithTimeout(context.Background(), c.timeout)
+	}
+	return context.Background(), func() {}
+}
+
+// fan runs fn for the listed servers (nil = all) concurrently and
+// returns the first error.
+func (c *Cluster) fan(targets []int, fn func(si int) error) error {
+	if targets == nil {
+		targets = make([]int, len(c.conns))
+		for i := range targets {
+			targets[i] = i
+		}
+	}
+	errs := make([]error, len(targets))
+	var wg sync.WaitGroup
+	for k, si := range targets {
+		wg.Add(1)
+		go func(k, si int) {
+			defer wg.Done()
+			errs[k] = fn(si)
+		}(k, si)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// storeEpoch refreshes the composite epoch: the cluster's own
+// mutation count plus the sum of every server's epoch (servers bump
+// theirs on auto-compactions the client never initiated; both
+// components only grow, so the composite is monotonic). Callers hold
+// the write lock.
+func (c *Cluster) storeEpoch() {
+	sum := c.local
+	for _, e := range c.epochs {
+		sum += e
+	}
+	c.epoch.Store(sum)
+}
+
+// finishMutation is the common tail of every mutating verb: bump the
+// cluster's own epoch component and drop the shared cache's expired
+// entries (their epoch-prefixed keys can never hit again). Callers
+// hold the write lock.
+func (c *Cluster) finishMutation() {
+	c.local++
+	c.storeEpoch()
+	c.cache.Invalidate()
+}
+
+// Load scatters the dataset across the servers: contiguous slices,
+// remainder spread over the first servers — the same layout the
+// in-process engine's initial partitioning uses, one level up. The
+// cluster adopts ds as its merged view (assigning RowIDs if the
+// dataset carries none), so — exactly like handing a dataset to
+// engine.New — the caller must treat it as moved: mutations grow and
+// shrink it in place. Any prior state on the servers is replaced.
+func (c *Cluster) Load(ctx context.Context, ds *series.Dataset) error {
+	if err := c.BackendErr(); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := ds.Len()
+	if ds.HasAscendingIDs() {
+		c.nextID = ds.IDs[n-1] + 1
+	} else {
+		c.nextID = ds.AssignIDs(0)
+	}
+	s := len(c.conns)
+	base, rem := n/s, n%s
+	starts := make([]int, s+1)
+	for i := 0; i < s; i++ {
+		size := base
+		if i < rem {
+			size++
+		}
+		starts[i+1] = starts[i] + size
+	}
+	epochs := make([]uint64, s)
+	err := c.fan(nil, func(si int) error {
+		lo, hi := starts[si], starts[si+1]
+		req := []byte{opReset}
+		req = binary.AppendUvarint(req, uint64(ds.D))
+		req = binary.AppendUvarint(req, uint64(ds.Horizon))
+		req = appendRows(req, ds.Inputs[lo:hi], ds.Targets[lo:hi], ds.IDs[lo:hi])
+		resp, err := c.conns[si].roundTrip(ctx, req)
+		if err != nil {
+			return err
+		}
+		d := &dec{b: resp}
+		epochs[si] = d.u64()
+		return d.err
+	})
+	if err != nil {
+		c.setFail(err)
+		return err
+	}
+	c.data = ds
+	c.owner = make([]int32, n)
+	c.liveBy = make([]int, s)
+	for si := 0; si < s; si++ {
+		for pos := starts[si]; pos < starts[si+1]; pos++ {
+			c.owner[pos] = int32(si)
+		}
+		c.liveBy[si] = starts[si+1] - starts[si]
+	}
+	c.dead, c.deadN = nil, 0
+	c.epochs = epochs
+	c.finishMutation()
+	return nil
+}
+
+// Sync adopts the rows the servers already hold (snapshot RPCs): the
+// merged view is every server's live rows sorted by RowID, which must
+// be globally unique — the invariant a prior Load/Append history
+// guarantees. This is how a fresh client attaches to a running
+// cluster, e.g. shard servers preloaded from CSV slices.
+func (c *Cluster) Sync(ctx context.Context) error {
+	if err := c.BackendErr(); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	type snap struct {
+		d, horizon int
+		epoch      uint64
+		inputs     [][]float64
+		targets    []float64
+		ids        []series.RowID
+	}
+	snaps := make([]snap, len(c.conns))
+	err := c.fan(nil, func(si int) error {
+		resp, err := c.conns[si].roundTrip(ctx, []byte{opSnapshot})
+		if err != nil {
+			return err
+		}
+		d := &dec{b: resp}
+		sn := snap{d: int(d.uvarint()), horizon: int(d.uvarint()), epoch: d.u64()}
+		sn.inputs, sn.targets, sn.ids = d.rows(sn.d)
+		if d.err != nil {
+			return fmt.Errorf("%w: %s: %v", ErrTransport, c.conns[si].dial.Addr(), d.err)
+		}
+		snaps[si] = sn
+		return nil
+	})
+	if err != nil {
+		c.setFail(err)
+		return err
+	}
+	width, horizon := snaps[0].d, snaps[0].horizon
+	total := 0
+	for si, sn := range snaps {
+		if sn.d != width || sn.horizon != horizon {
+			err := fmt.Errorf("%w: %s: dataset shape (D=%d, τ=%d) differs from %s (D=%d, τ=%d)",
+				ErrTransport, c.conns[si].dial.Addr(), sn.d, sn.horizon, c.conns[0].dial.Addr(), width, horizon)
+			c.setFail(err)
+			return err
+		}
+		total += len(sn.ids)
+	}
+	// Merge by ascending RowID: collect (server, local) refs, sort by
+	// id, demand global uniqueness.
+	type ref struct{ si, li int }
+	refs := make([]ref, 0, total)
+	for si, sn := range snaps {
+		for li := range sn.ids {
+			refs = append(refs, ref{si, li})
+		}
+	}
+	sort.Slice(refs, func(a, b int) bool {
+		return snaps[refs[a].si].ids[refs[a].li] < snaps[refs[b].si].ids[refs[b].li]
+	})
+	data := &series.Dataset{
+		Inputs:  make([][]float64, total),
+		Targets: make([]float64, total),
+		IDs:     make([]series.RowID, total),
+		D:       width,
+		Horizon: horizon,
+	}
+	owner := make([]int32, total)
+	liveBy := make([]int, len(c.conns))
+	for pos, rf := range refs {
+		sn := snaps[rf.si]
+		id := sn.ids[rf.li]
+		if pos > 0 && id <= data.IDs[pos-1] {
+			err := fmt.Errorf("%w: row id %d held by two servers — not one cluster's data", ErrTransport, id)
+			c.setFail(err)
+			return err
+		}
+		data.Inputs[pos] = sn.inputs[rf.li]
+		data.Targets[pos] = sn.targets[rf.li]
+		data.IDs[pos] = id
+		owner[pos] = int32(rf.si)
+		liveBy[rf.si]++
+	}
+	c.data, c.owner, c.liveBy = data, owner, liveBy
+	c.dead, c.deadN = nil, 0
+	for si, sn := range snaps {
+		c.epochs[si] = sn.epoch
+	}
+	c.nextID = 0
+	if total > 0 {
+		c.nextID = data.IDs[total-1] + 1
+	}
+	c.finishMutation()
+	return nil
+}
+
+// ---- core.Store: query side ----
+
+// Data returns the merged training view: every resident row in
+// insertion order, the pointer evaluators key on. Mutations grow and
+// shrink it in place, exactly like the in-process engine's view.
+func (c *Cluster) Data() *series.Dataset { return c.data }
+
+// Epoch returns the composite data epoch (cluster mutations plus the
+// sum of server epochs); evaluation-cache keys embed it, so a result
+// computed against any earlier state of any server can never be
+// served afterwards.
+func (c *Cluster) Epoch() uint64 { return c.epoch.Load() }
+
+// LiveLen returns the number of live rows across the cluster.
+func (c *Cluster) LiveLen() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.data.Len() - c.deadN
+}
+
+// LiveSpread returns the smallest and largest per-server live row
+// counts — the balance observable, one level above shard spread.
+func (c *Cluster) LiveSpread() (lo, hi int) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	lo = -1
+	for _, n := range c.liveBy {
+		if lo < 0 || n < lo {
+			lo = n
+		}
+		if n > hi {
+			hi = n
+		}
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	return lo, hi
+}
+
+// isDead reports whether the row at pos is tombstoned. Callers hold a
+// lock (read or write).
+func (c *Cluster) isDead(pos int) bool {
+	return c.deadN > 0 && pos>>6 < len(c.dead) && c.dead[pos>>6]&(1<<(uint(pos)&63)) != 0
+}
+
+// markDead tombstones pos; reports whether it was live. Callers hold
+// the write lock.
+func (c *Cluster) markDead(pos int) bool {
+	words := (c.data.Len() + 63) >> 6
+	for len(c.dead) < words {
+		c.dead = append(c.dead, 0)
+	}
+	if c.dead[pos>>6]&(1<<(uint(pos)&63)) != 0 {
+		return false
+	}
+	c.dead[pos>>6] |= 1 << (uint(pos) & 63)
+	c.deadN++
+	return true
+}
+
+// locate finds the position of the row with the given id, or -1. The
+// id column is ascending, so this is a binary search. Callers hold a
+// lock.
+func (c *Cluster) locate(id series.RowID) int {
+	ids := c.data.IDs
+	pos := sort.Search(len(ids), func(k int) bool { return ids[k] >= id })
+	if pos == len(ids) || ids[pos] != id {
+		return -1
+	}
+	return pos
+}
+
+// MatchIndices returns the rule's matched live positions over the
+// merged view, ascending — one single-rule batch. MatchBatch's
+// internal stall timeout applies, so a hung server trips the sticky
+// BackendErr here too and the evaluator refuses the empty result.
+func (c *Cluster) MatchIndices(r *core.Rule) []int {
+	return c.MatchBatch(context.Background(), []*core.Rule{r})[0]
+}
+
+// MatchBatch answers one whole generation: the encoded batch goes to
+// every server concurrently (each owns a disjoint slice of the rows),
+// the per-server ascending RowID answers are remapped to global
+// positions and merged through a bitmap sweep — the same
+// deterministic merge the in-process shards use, so out[i] is
+// bit-identical to the engine's answer over the same live rows.
+//
+// The caller's context bounds everything: on cancellation in-flight
+// IO is interrupted, the poisoned connections are dropped (redialed
+// on next use), no goroutine lingers, and the incomplete result must
+// be discarded by the caller (the evaluator checks ctx.Err()). When
+// the caller imposes no deadline of its own, the cluster's Timeout
+// caps the pass — a server that stops responding without closing its
+// connection must never hang training. A transport failure (that
+// stall included) trips the sticky BackendErr, which the evaluator
+// also refuses to cache or apply results over; only the caller's own
+// cancellation is exempt from poisoning the cluster.
+func (c *Cluster) MatchBatch(parent context.Context, rules []*core.Rule) [][]int {
+	out := make([][]int, len(rules))
+	if len(rules) == 0 || c.BackendErr() != nil {
+		return out
+	}
+	ctx := parent
+	if _, ok := parent.Deadline(); !ok && c.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(parent, c.timeout)
+		defer cancel()
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	req := appendRules([]byte{opMatchBatch}, c.data.D, rules)
+	perServer := make([][][]series.RowID, len(c.conns))
+	err := c.fan(nil, func(si int) error {
+		resp, err := c.conns[si].roundTrip(ctx, req)
+		if err != nil {
+			return err
+		}
+		d := &dec{b: resp}
+		lists := make([][]series.RowID, len(rules))
+		for w := range lists {
+			lists[w] = d.idList(d.count())
+		}
+		if d.err != nil {
+			return fmt.Errorf("%w: %s: %v", ErrTransport, c.conns[si].dial.Addr(), d.err)
+		}
+		perServer[si] = lists
+		return nil
+	})
+	if parent.Err() != nil {
+		return out // the caller's own cancellation: incomplete, discarded, not a fault
+	}
+	if err != nil {
+		c.setFail(err)
+		return out
+	}
+	// The merge is pure CPU: bound it by the CALLER's context only.
+	// The internal stall timeout exists to unstick IO; were it applied
+	// here, a timeout firing just after a slow-but-successful fan
+	// would silently truncate the merge into nil matched sets that
+	// pass every staleness check.
+	parallel.ForCtx(parent, len(rules), c.workers, func(w int) {
+		out[w] = c.mergeIDs(perServer, w)
+	})
+	return out
+}
+
+// mergeIDs unions one rule's per-server RowID answers into ascending
+// global positions, via a bitmap over the merged view. Each server's
+// answer is an ascending subsequence of the (ascending) merged id
+// column, so a galloping cursor resumes where the previous id landed:
+// near-linear for dense matched sets, logarithmic-per-id for sparse
+// ones — never a full binary search per row. The bitmap sweep then
+// restores global order exactly like the in-process shard merge.
+// Callers hold the read lock.
+func (c *Cluster) mergeIDs(perServer [][][]series.RowID, w int) []int {
+	total := 0
+	for _, lists := range perServer {
+		total += len(lists[w])
+	}
+	if total == 0 {
+		return nil
+	}
+	ids := c.data.IDs
+	n := c.data.Len()
+	words := make([]uint64, (n+63)>>6)
+	for _, lists := range perServer {
+		pos := 0
+		for _, id := range lists[w] {
+			pos = gallop(ids, pos, id)
+			if pos == len(ids) || ids[pos] != id {
+				// A server answered with a row the merged view does not
+				// hold: state divergence, poison the cluster.
+				c.setFail(fmt.Errorf("%w: matched row id %d is not in the merged view", ErrTransport, id))
+				return nil
+			}
+			words[pos>>6] |= 1 << (uint(pos) & 63)
+			pos++
+		}
+	}
+	return core.AppendSetBits(make([]int, 0, total), words)
+}
+
+// gallop returns the first index ≥ from whose id is ≥ target:
+// exponential probing from the cursor, then a binary search within
+// the bracketed range — O(1 + log gap) instead of O(log n).
+func gallop(ids []series.RowID, from int, target series.RowID) int {
+	bound := 1
+	for from+bound < len(ids) && ids[from+bound] < target {
+		bound <<= 1
+	}
+	hi := from + bound
+	if hi > len(ids) {
+		hi = len(ids)
+	}
+	return from + sort.Search(hi-from, func(k int) bool { return ids[from+k] >= target })
+}
+
+// ---- core.Store: lifecycle side ----
+
+// Append adds streaming patterns: the whole chunk routes to the
+// server with the fewest live rows (lowest index on ties — the same
+// deterministic policy the engine uses for shards), which adopts the
+// cluster-assigned ascending RowIDs. The merged view grows in place.
+func (c *Cluster) Append(inputs [][]float64, targets []float64) error {
+	if err := c.BackendErr(); err != nil {
+		return err
+	}
+	if len(inputs) != len(targets) {
+		return fmt.Errorf("remote: Append with %d inputs but %d targets", len(inputs), len(targets))
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, row := range inputs {
+		if len(row) != c.data.D {
+			return fmt.Errorf("remote: Append pattern %d has width %d, want D=%d", i, len(row), c.data.D)
+		}
+	}
+	if len(inputs) == 0 {
+		return nil
+	}
+	ids := make([]series.RowID, len(inputs))
+	for i := range ids {
+		ids[i] = c.nextID + series.RowID(i)
+	}
+	si := 0
+	for k, n := range c.liveBy {
+		if n < c.liveBy[si] {
+			si = k
+		}
+	}
+	req := []byte{opAppend}
+	req = binary.AppendUvarint(req, uint64(c.data.D))
+	req = appendRows(req, inputs, targets, ids)
+	ctx, cancel := c.opCtx()
+	defer cancel()
+	resp, err := c.conns[si].roundTrip(ctx, req)
+	if err != nil {
+		c.setFail(err)
+		return err
+	}
+	d := &dec{b: resp}
+	c.epochs[si] = d.u64()
+	c.data.Inputs = append(c.data.Inputs, inputs...)
+	c.data.Targets = append(c.data.Targets, targets...)
+	c.data.IDs = append(c.data.IDs, ids...)
+	for range inputs {
+		c.owner = append(c.owner, int32(si))
+	}
+	c.liveBy[si] += len(inputs)
+	c.nextID += series.RowID(len(inputs))
+	c.rebalanceLocked()
+	c.finishMutation()
+	return nil
+}
+
+// Delete tombstones the rows with the given stable ids and returns
+// how many were live. Unknown or already-dead ids are ignored. Each
+// owner server tombstones its share; the rows vanish from every
+// subsequent matched set, and the epoch bump expires every cached
+// evaluation.
+func (c *Cluster) Delete(ids []series.RowID) int {
+	if len(ids) == 0 || c.BackendErr() != nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.deleteLocked(ids)
+}
+
+func (c *Cluster) deleteLocked(ids []series.RowID) int {
+	perServer := make([][]series.RowID, len(c.conns))
+	removed := 0
+	for _, id := range ids {
+		pos := c.locate(id)
+		if pos < 0 || c.isDead(pos) {
+			continue
+		}
+		c.markDead(pos)
+		si := c.owner[pos]
+		perServer[si] = append(perServer[si], id)
+		c.liveBy[si]--
+		removed++
+	}
+	if removed == 0 {
+		return 0
+	}
+	var targets []int
+	for si, list := range perServer {
+		if len(list) > 0 {
+			targets = append(targets, si)
+		}
+	}
+	ctx, cancel := c.opCtx()
+	defer cancel()
+	err := c.fan(targets, func(si int) error {
+		list := perServer[si]
+		sort.Slice(list, func(a, b int) bool { return list[a] < list[b] })
+		req := appendIDs([]byte{opDelete}, list)
+		resp, err := c.conns[si].roundTrip(ctx, req)
+		if err != nil {
+			return err
+		}
+		d := &dec{b: resp}
+		n := int(d.uvarint())
+		c.epochs[si] = d.u64()
+		if d.err != nil {
+			return fmt.Errorf("%w: %s: %v", ErrTransport, c.conns[si].dial.Addr(), d.err)
+		}
+		if n != len(list) {
+			return fmt.Errorf("%w: %s: deleted %d of %d rows — state diverged", ErrTransport, c.conns[si].dial.Addr(), n, len(list))
+		}
+		return nil
+	})
+	if err != nil {
+		// The cluster is poisoned; skip the rebalance fan-out (it
+		// would burn a redial + timeout per server while holding the
+		// write lock) and let the sticky error surface.
+		c.setFail(err)
+		c.finishMutation()
+		return removed
+	}
+	c.rebalanceLocked()
+	c.finishMutation()
+	return removed
+}
+
+// Window keeps only the newest n live rows, tombstoning every older
+// one, and returns the number evicted. "Newest" is global insertion
+// order (ascending RowID), so the verb decomposes into per-owner
+// deletes of the oldest live rows — a per-server Window would keep
+// the wrong rows, since no server sees the global order.
+func (c *Cluster) Window(n int) int {
+	if n < 0 {
+		n = 0
+	}
+	if c.BackendErr() != nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	evict := c.data.Len() - c.deadN - n
+	if evict <= 0 {
+		return 0
+	}
+	ids := make([]series.RowID, 0, evict)
+	for pos := 0; len(ids) < evict; pos++ {
+		if !c.isDead(pos) {
+			ids = append(ids, c.data.IDs[pos])
+		}
+	}
+	return c.deleteLocked(ids)
+}
+
+// Compact physically reclaims every tombstoned row: each server
+// compacts its slice, and the merged view shrinks in place (live rows
+// keep their relative order, so matched sets — and the floating-point
+// accumulation order of every regression — are unchanged). Returns
+// the rows reclaimed from the merged view.
+func (c *Cluster) Compact() int {
+	if c.BackendErr() != nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.deadN == 0 {
+		return 0
+	}
+	ctx, cancel := c.opCtx()
+	defer cancel()
+	err := c.fan(nil, func(si int) error {
+		resp, err := c.conns[si].roundTrip(ctx, []byte{opCompact})
+		if err != nil {
+			return err
+		}
+		d := &dec{b: resp}
+		d.uvarint() // rows the server reclaimed now (may be fewer: threshold compactions ran earlier)
+		c.epochs[si] = d.u64()
+		return d.err
+	})
+	if err != nil {
+		c.setFail(err)
+	}
+	n := c.data.Len()
+	next := 0
+	for pos := 0; pos < n; pos++ {
+		if c.isDead(pos) {
+			continue
+		}
+		c.data.Inputs[next] = c.data.Inputs[pos]
+		c.data.Targets[next] = c.data.Targets[pos]
+		c.data.IDs[next] = c.data.IDs[pos]
+		c.owner[next] = c.owner[pos]
+		next++
+	}
+	for pos := next; pos < n; pos++ {
+		c.data.Inputs[pos] = nil
+	}
+	c.data.Inputs = c.data.Inputs[:next]
+	c.data.Targets = c.data.Targets[:next]
+	c.data.IDs = c.data.IDs[:next]
+	c.owner = c.owner[:next]
+	reclaimed := c.deadN
+	c.dead, c.deadN = nil, 0
+	c.finishMutation()
+	return reclaimed
+}
+
+// Rebalance asks every server to run its adaptive shard split/merge
+// policy and returns the total steps taken. Cross-server row movement
+// is deliberately out of scope: appends already route to the emptiest
+// server, and moving rows would change ownership under a live view.
+func (c *Cluster) Rebalance() int {
+	if c.BackendErr() != nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ops := c.rebalanceAllLocked()
+	if ops > 0 {
+		c.finishMutation()
+	}
+	return ops
+}
+
+// rebalanceLocked fans the rebalance RPC out when the cluster-level
+// policy is on (or when called via the explicit verb). Callers hold
+// the write lock and handle epoch/cache bookkeeping.
+func (c *Cluster) rebalanceLocked() int {
+	if !c.auto {
+		return 0
+	}
+	return c.rebalanceAllLocked()
+}
+
+func (c *Cluster) rebalanceAllLocked() int {
+	if c.BackendErr() != nil {
+		return 0
+	}
+	ctx, cancel := c.opCtx()
+	defer cancel()
+	var total atomic.Int64
+	err := c.fan(nil, func(si int) error {
+		resp, err := c.conns[si].roundTrip(ctx, []byte{opRebalance})
+		if err != nil {
+			return err
+		}
+		d := &dec{b: resp}
+		total.Add(int64(d.uvarint()))
+		c.epochs[si] = d.u64()
+		return d.err
+	})
+	if err != nil {
+		c.setFail(err)
+	}
+	return int(total.Load())
+}
+
+// Cluster must satisfy the full lifecycle-store contract plus the
+// health seam the evaluator polls.
+var (
+	_ core.Store         = (*Cluster)(nil)
+	_ core.BackendHealth = (*Cluster)(nil)
+)

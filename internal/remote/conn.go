@@ -1,0 +1,180 @@
+package remote
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Dialer mints connections to one fixed shard server. TCP is the
+// production transport; Loopback is the in-process one every test and
+// CI run uses so the real codec and framing are exercised without
+// sockets.
+type Dialer interface {
+	DialContext(ctx context.Context) (net.Conn, error)
+	// Addr names the server in errors and diagnostics.
+	Addr() string
+}
+
+// TCP returns a Dialer for a host:port shard-server address.
+func TCP(addr string) Dialer { return tcpDialer(addr) }
+
+type tcpDialer string
+
+func (d tcpDialer) DialContext(ctx context.Context) (net.Conn, error) {
+	var nd net.Dialer
+	return nd.DialContext(ctx, "tcp", string(d))
+}
+
+func (d tcpDialer) Addr() string { return string(d) }
+
+// serverError is an application-level failure the server reported
+// (bad append width, unknown id encoding, …). The connection remains
+// healthy — the request/response stream is still in lockstep.
+type serverError string
+
+func (e serverError) Error() string { return "remote: server: " + string(e) }
+
+// conn is the client half of one server connection: strict
+// request/response in lockstep, redialed on demand after transport
+// failures. One mutex serializes round trips; the Cluster fans a
+// batch out across servers, not across requests to one server.
+type conn struct {
+	dial Dialer
+	// onRedial re-verifies server state after any reconnect that is
+	// not the first (set by the Cluster: a server that restarted lost
+	// its slice, which must fail loudly, never silently). It receives
+	// a round-tripper bound to the fresh connection.
+	onRedial func(rt func(req []byte) ([]byte, error)) error
+
+	mu        sync.Mutex
+	nc        net.Conn
+	br        *bufio.Reader
+	bw        *bufio.Writer
+	connected bool // ever connected: the next dial is a REdial
+}
+
+// roundTrip sends one request and reads its response, dialing (or
+// redialing) first when needed. Dial and IO deadlines derive from
+// ctx; on cancellation the in-flight IO is interrupted immediately
+// and the connection is discarded (the stream is mid-frame), to be
+// redialed by the next call. Transport errors come back wrapped in
+// ErrTransport; server-reported application errors come back as-is
+// and leave the connection healthy.
+func (c *conn) roundTrip(ctx context.Context, req []byte) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.connectLocked(ctx); err != nil {
+		return nil, err
+	}
+	resp, err := c.callLocked(ctx, req)
+	if err != nil {
+		if _, app := err.(serverError); !app {
+			c.closeLocked()
+		}
+		return nil, err
+	}
+	return resp, nil
+}
+
+func (c *conn) connectLocked(ctx context.Context) error {
+	if c.nc != nil {
+		return nil
+	}
+	nc, err := c.dial.DialContext(ctx)
+	if err != nil {
+		return fmt.Errorf("%w: dial %s: %v", ErrTransport, c.dial.Addr(), err)
+	}
+	c.nc = nc
+	c.br = bufio.NewReaderSize(nc, 64<<10)
+	c.bw = bufio.NewWriterSize(nc, 64<<10)
+	hello := binary.AppendUvarint([]byte{opHello}, protoVersion)
+	if _, err := c.callLocked(ctx, hello); err != nil {
+		c.closeLocked()
+		if _, app := err.(serverError); app {
+			// A rejected hello (version skew) is a transport-layer
+			// failure: wrap it so errors.Is(err, ErrTransport) holds.
+			err = fmt.Errorf("%w: %s: %v", ErrTransport, c.dial.Addr(), err)
+		}
+		return err
+	}
+	if c.connected && c.onRedial != nil {
+		err := c.onRedial(func(req []byte) ([]byte, error) { return c.callLocked(ctx, req) })
+		if err != nil {
+			c.closeLocked()
+			return err
+		}
+	}
+	c.connected = true
+	return nil
+}
+
+func (c *conn) callLocked(ctx context.Context, req []byte) ([]byte, error) {
+	// IO deadline from the context; a cancel mid-flight forces the
+	// blocked read or write to return immediately.
+	if dl, ok := ctx.Deadline(); ok {
+		c.nc.SetDeadline(dl)
+	} else {
+		c.nc.SetDeadline(time.Time{})
+	}
+	done := make(chan struct{})
+	watcher := make(chan struct{})
+	if ctx.Done() != nil {
+		nc := c.nc
+		go func() {
+			defer close(watcher)
+			select {
+			case <-ctx.Done():
+				nc.SetDeadline(time.Unix(1, 0))
+			case <-done:
+			}
+		}()
+	} else {
+		close(watcher)
+	}
+	err := writeFrame(c.bw, req)
+	var resp []byte
+	if err == nil {
+		resp, err = readFrame(c.br)
+	}
+	close(done)
+	// Join the watcher before returning: a caller cancelling its
+	// context right after the call completes (every deferred cancel
+	// does) must not be able to poison the deadline of a later call
+	// from a straggling goroutine.
+	<-watcher
+	if err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			err = cerr
+		}
+		return nil, fmt.Errorf("%w: %s: %v", ErrTransport, c.dial.Addr(), err)
+	}
+	if len(resp) == 0 {
+		return nil, fmt.Errorf("%w: %s: empty response", ErrTransport, c.dial.Addr())
+	}
+	if resp[0] == opError {
+		return nil, serverError(resp[1:])
+	}
+	if resp[0] != req[0] {
+		return nil, fmt.Errorf("%w: %s: response op %d to request op %d", ErrTransport, c.dial.Addr(), resp[0], req[0])
+	}
+	return resp[1:], nil
+}
+
+func (c *conn) closeLocked() {
+	if c.nc != nil {
+		c.nc.Close()
+		c.nc, c.br, c.bw = nil, nil, nil
+	}
+}
+
+// close shuts the connection down for good (Cluster.Close).
+func (c *conn) close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closeLocked()
+}

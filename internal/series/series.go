@@ -186,6 +186,24 @@ func (ds *Dataset) AssignIDs(start RowID) RowID {
 // HasIDs reports whether every row carries a stable identity.
 func (ds *Dataset) HasIDs() bool { return len(ds.IDs) == ds.Len() && ds.Len() > 0 }
 
+// HasAscendingIDs reports whether every row carries a usable id, in
+// strictly ascending order — the invariant every lifecycle-store
+// mutation preserves, and the adoption predicate both the in-process
+// engine and the remote cluster apply to a dataset handed to them:
+// ascending ids are kept (a store handing data across stores),
+// anything else is renumbered.
+func (ds *Dataset) HasAscendingIDs() bool {
+	if !ds.HasIDs() {
+		return false
+	}
+	for i := 1; i < len(ds.IDs); i++ {
+		if ds.IDs[i] <= ds.IDs[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
 // Split partitions the dataset at index k into train (first k
 // patterns) and test (the rest). Panics if k is out of range.
 func (ds *Dataset) Split(k int) (train, test *Dataset) {
