@@ -4,41 +4,25 @@ import (
 	"go/parser"
 	"go/token"
 	"os"
-	"path/filepath"
-	"strconv"
 	"strings"
 	"testing"
+
+	"repro/tools/repolint/lint"
 )
 
 // TestBinariesUseFacadeOnly enforces the API seam: every binary under
 // cmd/ and examples/ talks to the system through the public forecast
-// package. Importing repro/internal/core there would let config
-// construction and run orchestration bypass the facade again — the
-// exact coupling this policy exists to prevent. (Other internal
-// leaves — series generators, metrics, plotting — are fine: they are
-// data and presentation, not the engine's control surface.)
+// package, never repro/internal/core directly. The walking logic
+// lives in the repolint apipolicy analyzer; this test just runs that
+// one analyzer over the repo so `go test` catches a violation even
+// when repolint itself isn't invoked.
 func TestBinariesUseFacadeOnly(t *testing.T) {
-	for _, root := range []string{"cmd", "examples"} {
-		err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
-			if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
-				return err
-			}
-			fset := token.NewFileSet()
-			file, err := parser.ParseFile(fset, path, nil, parser.ImportsOnly)
-			if err != nil {
-				return err
-			}
-			for _, imp := range file.Imports {
-				p, _ := strconv.Unquote(imp.Path.Value)
-				if p == "repro/internal/core" {
-					t.Errorf("%s imports %s: binaries must go through the forecast facade", path, p)
-				}
-			}
-			return nil
-		})
-		if err != nil {
-			t.Fatal(err)
-		}
+	res, err := lint.Run(".", "repro", []*lint.Analyzer{lint.APIPolicy})
+	if err != nil {
+		t.Fatalf("apipolicy analyzer: %v", err)
+	}
+	for _, d := range res.Diags {
+		t.Errorf("%s", d)
 	}
 }
 

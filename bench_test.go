@@ -587,7 +587,7 @@ func BenchmarkGenerationStep(b *testing.B) {
 	cfg.PopSize = 100
 	cfg.Generations = 0
 	cfg.Runtime.Workers = 1
-	ex, err := core.NewExecution(cfg, ds)
+	ex, err := core.NewExecution(context.Background(), cfg, ds)
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -19,6 +19,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -83,7 +84,7 @@ func main() {
 		l.Close()
 	}()
 
-	if err := srv.Serve(l); err != nil {
+	if err := srv.Serve(context.Background(), l); err != nil {
 		// The accept error after Close is the normal shutdown path.
 		log.Printf("stopped: %v", err)
 	}

@@ -38,7 +38,7 @@ func main() {
 	case "generate":
 		err = cmdGenerate(os.Args[2:])
 	case "train":
-		err = cmdTrain(os.Args[2:])
+		err = cmdTrain(context.Background(), os.Args[2:])
 	case "predict":
 		err = cmdPredict(os.Args[2:])
 	case "eval":
@@ -110,7 +110,7 @@ func cmdGenerate(args []string) error {
 	return nil
 }
 
-func cmdTrain(args []string) error {
+func cmdTrain(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("train", flag.ExitOnError)
 	in := fs.String("in", "", "input CSV series (required)")
 	d := fs.Int("d", 24, "window width D")
@@ -159,7 +159,7 @@ func cmdTrain(args []string) error {
 
 	// Ctrl-C cancels the evolution at its next generation; the
 	// best-so-far system is still saved.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, stop := signal.NotifyContext(ctx, os.Interrupt)
 	defer stop()
 	loaded := ds.Len() // Fit hands the dataset to the engine, which trims it in place
 	fitErr := f.Fit(ctx, ds)

@@ -27,7 +27,7 @@ func ExampleWithRemoteCluster() {
 			panic(err)
 		}
 		defer l.Close()
-		go remote.NewServer(engine.Options{Shards: 2}).Serve(l)
+		go remote.NewServer(engine.Options{Shards: 2}).Serve(context.Background(), l)
 		addrs[i] = l.Addr().String()
 	}
 

@@ -47,7 +47,7 @@ func startServer(t *testing.T, opt engine.Options) *killableServer {
 			ks.mu.Lock()
 			ks.conns = append(ks.conns, conn)
 			ks.mu.Unlock()
-			go srv.ServeConn(conn)
+			go srv.ServeConn(context.Background(), conn)
 		}
 	}()
 	t.Cleanup(ks.kill)

@@ -129,7 +129,7 @@ func TestAnalyzeOnEvolvedSystem(t *testing.T) {
 	// Integration: analysis of a real evolved system is self-consistent
 	// with RuleSet.Coverage.
 	ds := sineDataset(t, 400, 3)
-	ex, err := NewExecution(quickConfig(3, 77), ds)
+	ex, err := NewExecution(context.Background(), quickConfig(3, 77), ds)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -16,7 +16,7 @@ func TestRunCancelledMidway(t *testing.T) {
 	cfg := quickConfig(3, 41)
 	cfg.Generations = 1 << 30 // would run ~forever without cancellation
 
-	ex, err := NewExecution(cfg, ds)
+	ex, err := NewExecution(context.Background(), cfg, ds)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +49,7 @@ func TestRunCancelledMidway(t *testing.T) {
 
 func TestRunPreCancelled(t *testing.T) {
 	ds := sineDataset(t, 200, 3)
-	ex, err := NewExecution(quickConfig(3, 42), ds)
+	ex, err := NewExecution(context.Background(), quickConfig(3, 42), ds)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -36,8 +36,9 @@ type Execution struct {
 // NewExecution prepares (but does not run) an execution: it validates
 // the configuration, resolves EMax against the data when unset,
 // initializes the population with the paper's stratified procedure and
-// evaluates it.
-func NewExecution(cfg Config, data *series.Dataset) (*Execution, error) {
+// evaluates it. The context bounds that initial evaluation — over a
+// remote backend it is one RPC batch, which must stay cancellable.
+func NewExecution(ctx context.Context, cfg Config, data *series.Dataset) (*Execution, error) {
 	if cfg.D != data.D {
 		return nil, fmt.Errorf("%w: config D=%d but dataset D=%d", ErrConfig, cfg.D, data.D)
 	}
@@ -84,11 +85,10 @@ func NewExecution(cfg Config, data *series.Dataset) (*Execution, error) {
 	ex.mut = newMutator(cfg.MutationRate, cfg.MutationSpan, cfg.WildcardRate, lagLo, lagHi)
 
 	ex.Pop = InitStratified(data, cfg.PopSize)
-	// Construction is bounded work (one batch over PopSize rules), so
-	// it is not cancellable; the run loops are where budget goes. The
-	// background context means the only possible error is a backend
-	// fault (a lost shard server) — fatal for the execution.
-	if err := ex.Eval.EvaluateAll(context.Background(), ex.Pop); err != nil {
+	// Construction is bounded work (one batch over PopSize rules), but
+	// over a remote backend that batch is an RPC: the caller's context
+	// must reach it so a cancelled run never blocks in construction.
+	if err := ex.Eval.EvaluateAll(ctx, ex.Pop); err != nil {
 		return nil, fmt.Errorf("core: initial population evaluation: %w", err)
 	}
 	return ex, nil

@@ -36,19 +36,19 @@ func quickConfig(d int, seed int64) Config {
 func TestNewExecutionValidates(t *testing.T) {
 	ds := sineDataset(t, 200, 4)
 	bad := quickConfig(5, 1) // D mismatch
-	if _, err := NewExecution(bad, ds); !errors.Is(err, ErrConfig) {
+	if _, err := NewExecution(context.Background(), bad, ds); !errors.Is(err, ErrConfig) {
 		t.Fatalf("D mismatch accepted: %v", err)
 	}
 	bad = quickConfig(4, 1)
 	bad.PopSize = 1
-	if _, err := NewExecution(bad, ds); !errors.Is(err, ErrConfig) {
+	if _, err := NewExecution(context.Background(), bad, ds); !errors.Is(err, ErrConfig) {
 		t.Fatal("PopSize=1 accepted")
 	}
 }
 
 func TestEMaxAutoResolution(t *testing.T) {
 	ds := sineDataset(t, 200, 4)
-	ex, err := NewExecution(quickConfig(4, 1), ds)
+	ex, err := NewExecution(context.Background(), quickConfig(4, 1), ds)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +60,7 @@ func TestEMaxAutoResolution(t *testing.T) {
 	// Explicit EMax wins.
 	cfg := quickConfig(4, 1)
 	cfg.EMax = 0.42
-	ex2, err := NewExecution(cfg, ds)
+	ex2, err := NewExecution(context.Background(), cfg, ds)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +71,7 @@ func TestEMaxAutoResolution(t *testing.T) {
 
 func TestEvolutionImprovesMeanFitness(t *testing.T) {
 	ds := sineDataset(t, 400, 4)
-	ex, err := NewExecution(quickConfig(4, 7), ds)
+	ex, err := NewExecution(context.Background(), quickConfig(4, 7), ds)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +95,7 @@ func TestEvolutionImprovesMeanFitness(t *testing.T) {
 func TestCrowdingNeverLosesBest(t *testing.T) {
 	ds := sineDataset(t, 300, 3)
 	cfg := quickConfig(3, 11)
-	ex, err := NewExecution(cfg, ds)
+	ex, err := NewExecution(context.Background(), cfg, ds)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +121,7 @@ func TestCrowdingNeverLosesBest(t *testing.T) {
 
 func TestPopulationSizeConstant(t *testing.T) {
 	ds := sineDataset(t, 300, 3)
-	ex, err := NewExecution(quickConfig(3, 13), ds)
+	ex, err := NewExecution(context.Background(), quickConfig(3, 13), ds)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,7 +136,7 @@ func TestPopulationSizeConstant(t *testing.T) {
 func TestExecutionDeterministicPerSeed(t *testing.T) {
 	ds := sineDataset(t, 300, 3)
 	run := func(seed int64) []float64 {
-		ex, err := NewExecution(quickConfig(3, seed), ds)
+		ex, err := NewExecution(context.Background(), quickConfig(3, seed), ds)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -168,7 +168,7 @@ func TestExecutionDeterministicPerSeed(t *testing.T) {
 
 func TestValidRulesFiltered(t *testing.T) {
 	ds := sineDataset(t, 300, 3)
-	ex, err := NewExecution(quickConfig(3, 31), ds)
+	ex, err := NewExecution(context.Background(), quickConfig(3, 31), ds)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,7 +187,7 @@ func TestMutationOnlyReproductionPath(t *testing.T) {
 	ds := sineDataset(t, 300, 3)
 	cfg := quickConfig(3, 41)
 	cfg.CrossoverRate = 0 // force the clone+mutate path
-	ex, err := NewExecution(cfg, ds)
+	ex, err := NewExecution(context.Background(), cfg, ds)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -204,7 +204,7 @@ func TestEvolvedSystemPredictsSine(t *testing.T) {
 	train, test := dsAll.Split(500)
 	cfg := quickConfig(4, 55)
 	cfg.Generations = 3000
-	ex, err := NewExecution(cfg, train)
+	ex, err := NewExecution(context.Background(), cfg, train)
 	if err != nil {
 		t.Fatal(err)
 	}

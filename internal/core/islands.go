@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"repro/internal/parallel"
@@ -86,8 +87,15 @@ func RunIslands(ctx context.Context, cfg IslandConfig, data *series.Dataset) (*I
 		c := cfg.Base
 		c.Seed = seeds[i].Seed()
 		c.Runtime.Workers = 1 // island-level parallelism only
-		ex, err := NewExecution(c, data)
+		ex, err := NewExecution(ctx, c, data)
 		if err != nil {
+			// Cancelled while building islands (the initial evaluation
+			// is ctx-bound): keep the documented cancellation contract
+			// — a usable (here empty) result plus ctx.Err() — rather
+			// than reporting the cancellation as a failure.
+			if ctx.Err() != nil && errors.Is(err, ctx.Err()) {
+				return &IslandResult{RuleSet: NewRuleSet(data.D)}, ctx.Err()
+			}
 			return nil, err
 		}
 		islands[i] = ex

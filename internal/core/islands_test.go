@@ -109,11 +109,11 @@ func TestRunIslandsDeterministicAcrossParallelism(t *testing.T) {
 func TestMigrationSpreadsBestRules(t *testing.T) {
 	ds := sineDataset(t, 300, 3)
 	cfg := islandConfig(3, 21)
-	ex1, err := NewExecution(withSeed(cfg.Base, 1), ds)
+	ex1, err := NewExecution(context.Background(), withSeed(cfg.Base, 1), ds)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ex2, err := NewExecution(withSeed(cfg.Base, 2), ds)
+	ex2, err := NewExecution(context.Background(), withSeed(cfg.Base, 2), ds)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,7 +176,7 @@ func TestRunIslandsBeatsNothing(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	single, err := NewExecution(withSeed(islandConfig(3, 31).Base, 31), ds)
+	single, err := NewExecution(context.Background(), withSeed(islandConfig(3, 31).Base, 31), ds)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -232,7 +232,7 @@ func appendCondKey(b []byte, cond []Interval) []byte {
 // goroutine scheduling either.
 type evalCache struct {
 	mu     sync.RWMutex
-	m      map[string]*EvalResult
+	m      map[string]*EvalResult // guarded by mu
 	hits   atomic.Int64
 	misses atomic.Int64
 }

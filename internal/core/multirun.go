@@ -110,8 +110,17 @@ func MultiRun(ctx context.Context, cfg MultiRunConfig, data *series.Dataset) (*M
 			// Within a wave each execution occupies one goroutine; keep
 			// the inner match scans serial to avoid oversubscription.
 			c.Runtime.Workers = 1
-			ex, err := NewExecution(c, data)
+			ex, err := NewExecution(ctx, c, data)
 			if err != nil {
+				// Construction aborted by the wave's own cancellation
+				// (the initial evaluation is ctx-bound): not a fault.
+				// Record an empty execution — exactly what a run
+				// cancelled at generation zero records — and let the
+				// loop condition surface ctx.Err().
+				if ctx.Err() != nil && errors.Is(err, ctx.Err()) {
+					outs[i] = runOut{}
+					return
+				}
 				outs[i] = runOut{err: err}
 				return
 			}

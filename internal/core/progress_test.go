@@ -9,7 +9,7 @@ func TestRunWithProgressCallbackCadence(t *testing.T) {
 	ds := sineDataset(t, 300, 3)
 	cfg := quickConfig(3, 61)
 	cfg.Generations = 100
-	ex, err := NewExecution(cfg, ds)
+	ex, err := NewExecution(context.Background(), cfg, ds)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -34,7 +34,7 @@ func TestRunWithProgressEarlyStop(t *testing.T) {
 	ds := sineDataset(t, 300, 3)
 	cfg := quickConfig(3, 62)
 	cfg.Generations = 1000
-	ex, err := NewExecution(cfg, ds)
+	ex, err := NewExecution(context.Background(), cfg, ds)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +50,7 @@ func TestRunWithProgressMonotoneBest(t *testing.T) {
 	ds := sineDataset(t, 300, 3)
 	cfg := quickConfig(3, 63)
 	cfg.Generations = 200
-	ex, err := NewExecution(cfg, ds)
+	ex, err := NewExecution(context.Background(), cfg, ds)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +68,7 @@ func TestRunWithProgressClampsEvery(t *testing.T) {
 	ds := sineDataset(t, 300, 3)
 	cfg := quickConfig(3, 64)
 	cfg.Generations = 5
-	ex, err := NewExecution(cfg, ds)
+	ex, err := NewExecution(context.Background(), cfg, ds)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +83,7 @@ func TestRunUntilStagnant(t *testing.T) {
 	ds := sineDataset(t, 300, 3)
 	cfg := quickConfig(3, 65)
 	cfg.Generations = 5000
-	ex, err := NewExecution(cfg, ds)
+	ex, err := NewExecution(context.Background(), cfg, ds)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +105,7 @@ func TestRunUntilStagnantPatienceClamp(t *testing.T) {
 	ds := sineDataset(t, 200, 3)
 	cfg := quickConfig(3, 66)
 	cfg.Generations = 50
-	ex, err := NewExecution(cfg, ds)
+	ex, err := NewExecution(context.Background(), cfg, ds)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -19,7 +19,7 @@ func TestReplacementStrategiesRun(t *testing.T) {
 	for _, kind := range []ReplacementKind{ReplaceNearest, ReplaceRandom, ReplaceWorst} {
 		cfg := quickConfig(3, 17)
 		cfg.Replacement = kind
-		ex, err := NewExecution(cfg, ds)
+		ex, err := NewExecution(context.Background(), cfg, ds)
 		if err != nil {
 			t.Fatalf("%v: %v", kind, err)
 		}
@@ -43,7 +43,7 @@ func TestCrowdingPreservesMoreDiversity(t *testing.T) {
 		cfg := quickConfig(3, 23)
 		cfg.Generations = 1500
 		cfg.Replacement = kind
-		ex, err := NewExecution(cfg, ds)
+		ex, err := NewExecution(context.Background(), cfg, ds)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -68,7 +68,7 @@ func TestConfigValidateRejectsOrphanCache(t *testing.T) {
 	if err := cfg.Validate(); !errors.Is(err, ErrConfig) {
 		t.Fatalf("Config.Validate with orphan cache: want ErrConfig, got %v", err)
 	}
-	if _, err := NewExecution(cfg, ds); !errors.Is(err, ErrConfig) {
+	if _, err := NewExecution(context.Background(), cfg, ds); !errors.Is(err, ErrConfig) {
 		t.Fatalf("NewExecution with orphan cache: want ErrConfig, got %v", err)
 	}
 }

@@ -102,7 +102,7 @@ func TestCompactPreservesCoverage(t *testing.T) {
 	ds := sineDataset(t, 400, 3)
 	cfg := quickConfig(3, 91)
 	cfg.Generations = 1500
-	ex, err := NewExecution(cfg, ds)
+	ex, err := NewExecution(context.Background(), cfg, ds)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +128,7 @@ func TestCompactEmptySet(t *testing.T) {
 // pattern b matches (checked against a real dataset).
 func TestSubsumptionSoundness(t *testing.T) {
 	ds := sineDataset(t, 300, 3)
-	ex, err := NewExecution(quickConfig(3, 93), ds)
+	ex, err := NewExecution(context.Background(), quickConfig(3, 93), ds)
 	if err != nil {
 		t.Fatal(err)
 	}

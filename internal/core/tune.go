@@ -105,7 +105,7 @@ func TuneEMax(ctx context.Context, cfg TuneConfig, data *series.Dataset) (*TuneR
 		c := cfg.Base
 		c.EMax = frac * span
 		c.Runtime.Workers = 1
-		ex, err := NewExecution(c, train)
+		ex, err := NewExecution(ctx, c, train)
 		if err != nil {
 			errs[i] = err
 			return

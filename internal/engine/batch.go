@@ -44,7 +44,7 @@ func (s *Shards) MatchBatch(ctx context.Context, rules []*core.Rule) [][]int {
 	// Scheduling pass: aggregate per-gene selectivity across shards.
 	plans := make([]batchPlan, len(rules))
 	if parallel.ForCtx(ctx, len(rules), s.workers, func(w int) {
-		plans[w] = s.plan(rules[w])
+		plans[w] = s.planLocked(rules[w])
 	}) != nil {
 		return out
 	}
@@ -85,7 +85,7 @@ func (s *Shards) MatchBatch(ctx context.Context, rules []*core.Rule) [][]int {
 	var allLive []int
 	for _, p := range plans {
 		if p.wildcard {
-			allLive = s.allLive()
+			allLive = s.allLiveLocked()
 			break
 		}
 	}
@@ -99,18 +99,18 @@ func (s *Shards) MatchBatch(ctx context.Context, rules []*core.Rule) [][]int {
 		for si := range s.parts {
 			perShard[si] = locals[si][w]
 		}
-		out[w] = s.merge(perShard)
+		out[w] = s.mergeMatchesLocked(perShard)
 	})
 	return out
 }
 
-// plan finds the rule's batch-global most selective lag: the
+// planLocked finds the rule's batch-global most selective lag: the
 // non-wildcard gene whose candidate ranges, summed across every
 // shard, admit the fewest patterns. A gene unanswerable in any shard
 // (NaN bound, or a shard with NaN-degenerate data) is skipped; when
 // no gene is answerable everywhere the plan's dim is -1 and each
 // shard falls back to its own two-path logic.
-func (s *Shards) plan(r *core.Rule) batchPlan {
+func (s *Shards) planLocked(r *core.Rule) batchPlan {
 	bestDim := -1
 	bestCount := -1
 	hasGene := false

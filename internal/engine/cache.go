@@ -30,9 +30,9 @@ import (
 // which evaluator produced it.
 type SharedCache struct {
 	mu     sync.RWMutex
-	hot    map[string]*core.EvalResult
-	prev   map[string]*core.EvalResult
-	cap    int
+	hot    map[string]*core.EvalResult // guarded by mu
+	prev   map[string]*core.EvalResult // guarded by mu
+	cap    int                         // fixed at construction
 	hits   atomic.Int64
 	misses atomic.Int64
 }
@@ -76,7 +76,7 @@ func (c *SharedCache) Get(key string) *core.EvalResult {
 		// Promote: still-reached entries migrate forward instead of
 		// aging out with their generation.
 		c.mu.Lock()
-		c.rotateIfFull()
+		c.rotateIfFullLocked()
 		c.hot[key] = e
 		c.mu.Unlock()
 	}
@@ -88,14 +88,14 @@ func (c *SharedCache) Get(key string) *core.EvalResult {
 // when it is full.
 func (c *SharedCache) Put(key string, res *core.EvalResult) {
 	c.mu.Lock()
-	c.rotateIfFull()
+	c.rotateIfFullLocked()
 	c.hot[key] = res
 	c.mu.Unlock()
 }
 
-// rotateIfFull retires the previous generation and starts a fresh hot
+// rotateIfFullLocked retires the previous generation and starts a fresh hot
 // one when the hot generation is at capacity. Callers hold mu.
-func (c *SharedCache) rotateIfFull() {
+func (c *SharedCache) rotateIfFullLocked() {
 	if len(c.hot) >= c.cap {
 		c.prev = c.hot
 		c.hot = make(map[string]*core.EvalResult)
@@ -118,6 +118,7 @@ func (c *SharedCache) Len() int {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	n := len(c.hot)
+	//lint:ignore determinism counting distinct keys is order-insensitive; no value escapes the loop
 	for k := range c.prev {
 		if _, dup := c.hot[k]; !dup {
 			n++

@@ -143,7 +143,7 @@ func TestConfigureWiresBackendAndCache(t *testing.T) {
 	}
 	cfg.Generations = 30
 	cfg.PopSize = 10
-	ex, err := core.NewExecution(cfg, ds)
+	ex, err := core.NewExecution(context.Background(), cfg, ds)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -60,15 +60,15 @@ func (s *Shards) rebalanceLocked() int {
 	for step := 0; step < maxSteps; step++ {
 		s.dropEmptyLocked()
 		minI, maxI := s.extremesLocked()
-		minLive, maxLive := s.liveOf(minI), s.liveOf(maxI)
+		minLive, maxLive := s.liveOfLocked(minI), s.liveOfLocked(maxI)
 		balanced := maxLive <= rebalanceBound*minLive || maxLive-minLive <= 1
 		switch {
 		case balanced:
-			if len(s.parts) >= s.targetP || maxLive < 2 || !s.splitStaysBalanced(maxI) {
+			if len(s.parts) >= s.targetP || maxLive < 2 || !s.splitStaysBalancedLocked(maxI) {
 				return ops
 			}
 			s.splitLocked(maxI) // regrow fan-out lost to merges or a tiny seed
-		case s.liveOf(s.secondSmallestLocked(minI))+minLive <= maxLive && len(s.parts) > 1:
+		case s.liveOfLocked(s.secondSmallestLocked(minI))+minLive <= maxLive && len(s.parts) > 1:
 			s.mergeLocked(minI, s.secondSmallestLocked(minI))
 		case maxLive >= 2:
 			s.splitLocked(maxI)
@@ -80,20 +80,20 @@ func (s *Shards) rebalanceLocked() int {
 	return ops
 }
 
-// splitStaysBalanced reports whether splitting shard i would leave
+// splitStaysBalancedLocked reports whether splitting shard i would leave
 // the layout inside the balance bound. The regrow-toward-targetP
 // split only fires when it does — otherwise splitting and the merge
 // rule would undo each other forever (split [5,5] → [5,3,2] → merge
 // → [5,5] → ...).
-func (s *Shards) splitStaysBalanced(i int) bool {
-	lo := s.liveOf(i) / 2
-	hi := s.liveOf(i) - lo
+func (s *Shards) splitStaysBalancedLocked(i int) bool {
+	lo := s.liveOfLocked(i) / 2
+	hi := s.liveOfLocked(i) - lo
 	nmin, nmax := lo, hi
 	for j := range s.parts {
 		if j == i {
 			continue
 		}
-		if l := s.liveOf(j); l < nmin {
+		if l := s.liveOfLocked(j); l < nmin {
 			nmin = l
 		} else if l > nmax {
 			nmax = l
@@ -102,8 +102,8 @@ func (s *Shards) splitStaysBalanced(i int) bool {
 	return nmax <= rebalanceBound*nmin || nmax-nmin <= 1
 }
 
-// liveOf returns shard i's live size (0 when out of range).
-func (s *Shards) liveOf(i int) int {
+// liveOfLocked returns shard i's live size (0 when out of range).
+func (s *Shards) liveOfLocked(i int) int {
 	if i < 0 || i >= len(s.parts) {
 		return 0
 	}
@@ -116,10 +116,10 @@ func (s *Shards) liveOf(i int) int {
 // hottest of equally-oversized shards splits first.
 func (s *Shards) extremesLocked() (minI, maxI int) {
 	for i := 1; i < len(s.parts); i++ {
-		if s.liveOf(i) < s.liveOf(minI) {
+		if s.liveOfLocked(i) < s.liveOfLocked(minI) {
 			minI = i
 		}
-		li, lm := s.liveOf(i), s.liveOf(maxI)
+		li, lm := s.liveOfLocked(i), s.liveOfLocked(maxI)
 		if li > lm || li == lm && s.parts[i].cost.Load() > s.parts[maxI].cost.Load() {
 			maxI = i
 		}
@@ -135,7 +135,7 @@ func (s *Shards) secondSmallestLocked(skip int) int {
 		if i == skip {
 			continue
 		}
-		if best < 0 || s.liveOf(i) < s.liveOf(best) {
+		if best < 0 || s.liveOfLocked(i) < s.liveOfLocked(best) {
 			best = i
 		}
 	}
@@ -177,8 +177,8 @@ func (s *Shards) splitLocked(i int) {
 			break
 		}
 	}
-	lo := s.subShard(sh, 0, cut)
-	hi := s.subShard(sh, cut, sh.data.Len())
+	lo := s.subShardLocked(sh, 0, cut)
+	hi := s.subShardLocked(sh, cut, sh.data.Len())
 	halves := []*shard{lo, hi}
 	parallel.For(2, s.workers, func(k int) {
 		halves[k].idx = core.NewMatchIndex(halves[k].data)
@@ -190,9 +190,9 @@ func (s *Shards) splitLocked(i int) {
 	s.parts = parts
 }
 
-// subShard builds a shard over sh's local rows [from,to), carrying
+// subShardLocked builds a shard over sh's local rows [from,to), carrying
 // global positions and tombstones across (index left for the caller).
-func (s *Shards) subShard(sh *shard, from, to int) *shard {
+func (s *Shards) subShardLocked(sh *shard, from, to int) *shard {
 	size := to - from
 	out := &shard{
 		global: append(make([]int32, 0, size), sh.global[from:to]...),

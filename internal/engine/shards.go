@@ -57,13 +57,13 @@ import (
 // phases).
 type Shards struct {
 	mu      sync.RWMutex
-	data    *series.Dataset // the full dataset view; Append grows it, Compact shrinks it
-	parts   []*shard
-	workers int
+	data    *series.Dataset // guarded by mu: the full dataset view; Append grows it, Compact shrinks it
+	parts   []*shard        // guarded by mu
+	workers int             // fixed at construction
 	epoch   atomic.Uint64
 
-	deadTotal int          // tombstoned rows awaiting compaction, across all shards
-	nextID    series.RowID // next RowID to assign on Append
+	deadTotal int          // guarded by mu: tombstoned rows awaiting compaction, across all shards
+	nextID    series.RowID // guarded by mu: next RowID to assign on Append
 
 	// Lifecycle policy (fixed at construction; see Options).
 	compactThreshold float64 // per-shard dead ratio that triggers auto-compaction; <0 disables
@@ -232,7 +232,11 @@ func (s *Shards) LiveLen() int {
 // whole lifecycle. Between a Delete/Window and the compaction that
 // follows it, the view still holds the tombstoned rows — no match
 // result ever references them.
-func (s *Shards) Data() *series.Dataset { return s.data }
+func (s *Shards) Data() *series.Dataset {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.data
+}
 
 // Epoch returns the data epoch: the number of mutations (appends,
 // deletes, windows, compactions, rebalances) performed. Evaluation-
@@ -405,7 +409,7 @@ func (s *Shards) MatchIndices(r *core.Rule) []int {
 	parallel.For(len(s.parts), s.workers, func(i int) {
 		locals[i] = s.parts[i].match(r)
 	})
-	return s.merge(locals)
+	return s.mergeMatchesLocked(locals)
 }
 
 // match computes the shard-local live matched set: index lookup when
@@ -436,13 +440,13 @@ func (sh *shard) scan(r *core.Rule) []int {
 	return out
 }
 
-// merge unions per-shard local matches into one ascending global
+// mergeMatchesLocked unions per-shard local matches into one ascending global
 // result. Shard index sets are disjoint but — after appends —
 // interleaved, so hits are collected in a bitmap over global indices
 // and swept in word order: O(k + n/64), independent of shard layout,
 // and deterministic for any parallelism. Returns nil when nothing
 // matched, staying interchangeable with the scan path.
-func (s *Shards) merge(locals [][]int) []int {
+func (s *Shards) mergeMatchesLocked(locals [][]int) []int {
 	total := 0
 	for _, l := range locals {
 		total += len(l)
@@ -462,9 +466,9 @@ func (s *Shards) merge(locals [][]int) []int {
 	return core.AppendSetBits(make([]int, 0, total), words)
 }
 
-// allLive returns every live global index, ascending — the
+// allLiveLocked returns every live global index, ascending — the
 // all-wildcard answer. Callers hold mu (read or write).
-func (s *Shards) allLive() []int {
+func (s *Shards) allLiveLocked() []int {
 	n := s.data.Len()
 	live := n - s.deadTotal
 	if live == 0 {

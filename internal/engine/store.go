@@ -23,11 +23,11 @@ import (
 // while batching enough deletions that each rewrite pays for itself.
 const DefaultCompactThreshold = 0.25
 
-// locate finds the shard and local index holding the row with the
+// locateLocked finds the shard and local index holding the row with the
 // given stable id, or (nil, -1). Global arrays keep ids ascending and
 // each shard's global set ascending, so both lookups are binary
 // searches. Callers hold mu.
-func (s *Shards) locate(id series.RowID) (*shard, int) {
+func (s *Shards) locateLocked(id series.RowID) (*shard, int) {
 	ids := s.data.IDs
 	g := sort.Search(len(ids), func(k int) bool { return ids[k] >= id })
 	if g == len(ids) || ids[g] != id {
@@ -57,7 +57,7 @@ func (s *Shards) Delete(ids []series.RowID) int {
 	defer s.mu.Unlock()
 	removed := 0
 	for _, id := range ids {
-		if sh, li := s.locate(id); sh != nil && sh.markDead(li) {
+		if sh, li := s.locateLocked(id); sh != nil && sh.markDead(li) {
 			removed++
 			s.deadTotal++
 		}

@@ -36,7 +36,7 @@ func Figure1(ctx context.Context, sc Scale, seed int64) (*Figure1Result, error) 
 	cfg.PopSize = sc.PopSize
 	cfg.Generations = sc.Generations
 	cfg.Seed = seed
-	ex, err := core.NewExecution(cfg, train)
+	ex, err := core.NewExecution(ctx, cfg, train)
 	if err != nil {
 		return nil, err
 	}

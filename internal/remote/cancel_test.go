@@ -276,7 +276,7 @@ func TestDroppedServerMidRunAbortsExecution(t *testing.T) {
 	cfg.Generations = 1 << 30 // would run ~forever if the fault were ignored
 	cfg.Runtime.Backend = c
 	cfg.Runtime.Cache = c.Cache()
-	ex, err := core.NewExecution(cfg, c.Data())
+	ex, err := core.NewExecution(context.Background(), cfg, c.Data())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -78,14 +78,14 @@ type Cluster struct {
 	auto    bool // per-server rebalance after every mutation
 
 	mu     sync.RWMutex
-	data   *series.Dataset // merged view: all resident rows, insertion (ascending-RowID) order
-	owner  []int32         // owner[pos]: server index holding that row
-	dead   []uint64        // client-side tombstone bitmap over positions
-	deadN  int
-	liveBy []int    // live rows per server (append routing, LiveSpread)
-	epochs []uint64 // last known per-server epochs
-	local  uint64   // cluster-level mutations (composite epoch component)
-	nextID series.RowID
+	data   *series.Dataset // guarded by mu: merged view — all resident rows, insertion (ascending-RowID) order
+	owner  []int32         // guarded by mu: owner[pos]: server index holding that row
+	dead   []uint64        // guarded by mu: client-side tombstone bitmap over positions
+	deadN  int             // guarded by mu
+	liveBy []int           // guarded by mu: live rows per server (append routing, LiveSpread)
+	epochs []uint64        // guarded by mu: last known per-server epochs
+	local  uint64          // guarded by mu: cluster-level mutations (composite epoch component)
+	nextID series.RowID    // guarded by mu
 
 	epoch atomic.Uint64 // composite epoch, kept hot for per-evaluation reads
 	fail  atomic.Pointer[error]
@@ -96,7 +96,7 @@ type Cluster struct {
 // eager-connect TCP path.
 func NewCluster(dialers []Dialer, opt Options) (*Cluster, error) {
 	if len(dialers) == 0 {
-		return nil, fmt.Errorf("remote: a cluster needs at least one server")
+		return nil, fmt.Errorf("%w: a cluster needs at least one server", core.ErrConfig)
 	}
 	if opt.Workers < 0 {
 		opt.Workers = 0
@@ -117,7 +117,7 @@ func NewCluster(dialers []Dialer, opt Options) (*Cluster, error) {
 		epochs:  make([]uint64, len(dialers)),
 	}
 	for si, d := range dialers {
-		c.conns[si] = &conn{dial: d, onRedial: c.redialCheck(si)}
+		c.conns[si] = &conn{dial: d, onRedial: c.redialCheckLocked(si)}
 	}
 	return c, nil
 }
@@ -144,12 +144,14 @@ func Dial(ctx context.Context, addrs []string, opt Options) (*Cluster, error) {
 	return c, nil
 }
 
-// redialCheck verifies a reconnected server still holds the state the
-// cluster last saw — a restarted server lost its slice and must fail
-// loudly. Reconnects happen after a cancelled query poisoned the
-// connection mid-frame; queries never mutate, so epoch and live count
-// are exact invariants.
-func (c *Cluster) redialCheck(si int) func(rt func([]byte) ([]byte, error)) error {
+// redialCheckLocked mints the closure verifying a reconnected server
+// still holds the state the cluster last saw — a restarted server
+// lost its slice and must fail loudly. Reconnects happen after a
+// cancelled query poisoned the connection mid-frame; queries never
+// mutate, so epoch and live count are exact invariants. The closure
+// runs inside an RPC, under the lock the issuing verb holds — hence
+// the Locked suffix, despite being minted lock-free at construction.
+func (c *Cluster) redialCheckLocked(si int) func(rt func([]byte) ([]byte, error)) error {
 	return func(rt func([]byte) ([]byte, error)) error {
 		resp, err := rt([]byte{opEpoch})
 		if err != nil {
@@ -230,10 +232,12 @@ func (c *Cluster) setFail(err error) {
 // opCtx bounds RPCs issued without a caller context (the core.Store
 // lifecycle verbs).
 func (c *Cluster) opCtx() (context.Context, context.CancelFunc) {
+	//lint:ignore ctx the ctx-free core.Store lifecycle verbs need a root context; opCtx is their one sanctioned source, bounded by Options.Timeout
+	ctx := context.Background()
 	if c.timeout > 0 {
-		return context.WithTimeout(context.Background(), c.timeout)
+		return context.WithTimeout(ctx, c.timeout)
 	}
-	return context.Background(), func() {}
+	return ctx, func() {}
 }
 
 // fan runs fn for the listed servers (nil = all) concurrently and
@@ -263,12 +267,12 @@ func (c *Cluster) fan(targets []int, fn func(si int) error) error {
 	return nil
 }
 
-// storeEpoch refreshes the composite epoch: the cluster's own
+// storeEpochLocked refreshes the composite epoch: the cluster's own
 // mutation count plus the sum of every server's epoch (servers bump
 // theirs on auto-compactions the client never initiated; both
 // components only grow, so the composite is monotonic). Callers hold
 // the write lock.
-func (c *Cluster) storeEpoch() {
+func (c *Cluster) storeEpochLocked() {
 	sum := c.local
 	for _, e := range c.epochs {
 		sum += e
@@ -276,13 +280,13 @@ func (c *Cluster) storeEpoch() {
 	c.epoch.Store(sum)
 }
 
-// finishMutation is the common tail of every mutating verb: bump the
+// finishMutationLocked is the common tail of every mutating verb: bump the
 // cluster's own epoch component and drop the shared cache's expired
 // entries (their epoch-prefixed keys can never hit again). Callers
 // hold the write lock.
-func (c *Cluster) finishMutation() {
+func (c *Cluster) finishMutationLocked() {
 	c.local++
-	c.storeEpoch()
+	c.storeEpochLocked()
 	c.cache.Invalidate()
 }
 
@@ -345,7 +349,7 @@ func (c *Cluster) Load(ctx context.Context, ds *series.Dataset) error {
 	}
 	c.dead, c.deadN = nil, 0
 	c.epochs = epochs
-	c.finishMutation()
+	c.finishMutationLocked()
 	return nil
 }
 
@@ -441,7 +445,7 @@ func (c *Cluster) Sync(ctx context.Context) error {
 	if total > 0 {
 		c.nextID = data.IDs[total-1] + 1
 	}
-	c.finishMutation()
+	c.finishMutationLocked()
 	return nil
 }
 
@@ -450,7 +454,11 @@ func (c *Cluster) Sync(ctx context.Context) error {
 // Data returns the merged training view: every resident row in
 // insertion order, the pointer evaluators key on. Mutations grow and
 // shrink it in place, exactly like the in-process engine's view.
-func (c *Cluster) Data() *series.Dataset { return c.data }
+func (c *Cluster) Data() *series.Dataset {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.data
+}
 
 // Epoch returns the composite data epoch (cluster mutations plus the
 // sum of server epochs); evaluation-cache keys embed it, so a result
@@ -485,15 +493,15 @@ func (c *Cluster) LiveSpread() (lo, hi int) {
 	return lo, hi
 }
 
-// isDead reports whether the row at pos is tombstoned. Callers hold a
+// isDeadLocked reports whether the row at pos is tombstoned. Callers hold a
 // lock (read or write).
-func (c *Cluster) isDead(pos int) bool {
+func (c *Cluster) isDeadLocked(pos int) bool {
 	return c.deadN > 0 && pos>>6 < len(c.dead) && c.dead[pos>>6]&(1<<(uint(pos)&63)) != 0
 }
 
-// markDead tombstones pos; reports whether it was live. Callers hold
+// markDeadLocked tombstones pos; reports whether it was live. Callers hold
 // the write lock.
-func (c *Cluster) markDead(pos int) bool {
+func (c *Cluster) markDeadLocked(pos int) bool {
 	words := (c.data.Len() + 63) >> 6
 	for len(c.dead) < words {
 		c.dead = append(c.dead, 0)
@@ -506,10 +514,10 @@ func (c *Cluster) markDead(pos int) bool {
 	return true
 }
 
-// locate finds the position of the row with the given id, or -1. The
+// locateLocked finds the position of the row with the given id, or -1. The
 // id column is ascending, so this is a binary search. Callers hold a
 // lock.
-func (c *Cluster) locate(id series.RowID) int {
+func (c *Cluster) locateLocked(id series.RowID) int {
 	ids := c.data.IDs
 	pos := sort.Search(len(ids), func(k int) bool { return ids[k] >= id })
 	if pos == len(ids) || ids[pos] != id {
@@ -519,11 +527,15 @@ func (c *Cluster) locate(id series.RowID) int {
 }
 
 // MatchIndices returns the rule's matched live positions over the
-// merged view, ascending — one single-rule batch. MatchBatch's
-// internal stall timeout applies, so a hung server trips the sticky
-// BackendErr here too and the evaluator refuses the empty result.
+// merged view, ascending — one single-rule batch, bounded by opCtx
+// like every other ctx-free verb. MatchBatch's internal stall timeout
+// applies on top, so a hung server trips the sticky BackendErr here
+// too and the evaluator refuses the empty result.
 func (c *Cluster) MatchIndices(r *core.Rule) []int {
-	return c.MatchBatch(context.Background(), []*core.Rule{r})[0]
+	ctx, cancel := c.opCtx()
+	defer cancel()
+	//lint:ignore ctx core.Backend.MatchIndices is interface-locked without a context parameter; opCtx bounds the RPC instead
+	return c.MatchBatch(ctx, []*core.Rule{r})[0]
 }
 
 // MatchBatch answers one whole generation: the encoded batch goes to
@@ -587,12 +599,12 @@ func (c *Cluster) MatchBatch(parent context.Context, rules []*core.Rule) [][]int
 	// would silently truncate the merge into nil matched sets that
 	// pass every staleness check.
 	parallel.ForCtx(parent, len(rules), c.workers, func(w int) {
-		out[w] = c.mergeIDs(perServer, w)
+		out[w] = c.mergeIDsLocked(perServer, w)
 	})
 	return out
 }
 
-// mergeIDs unions one rule's per-server RowID answers into ascending
+// mergeIDsLocked unions one rule's per-server RowID answers into ascending
 // global positions, via a bitmap over the merged view. Each server's
 // answer is an ascending subsequence of the (ascending) merged id
 // column, so a galloping cursor resumes where the previous id landed:
@@ -600,7 +612,7 @@ func (c *Cluster) MatchBatch(parent context.Context, rules []*core.Rule) [][]int
 // ones — never a full binary search per row. The bitmap sweep then
 // restores global order exactly like the in-process shard merge.
 // Callers hold the read lock.
-func (c *Cluster) mergeIDs(perServer [][][]series.RowID, w int) []int {
+func (c *Cluster) mergeIDsLocked(perServer [][][]series.RowID, w int) []int {
 	total := 0
 	for _, lists := range perServer {
 		total += len(lists[w])
@@ -654,13 +666,13 @@ func (c *Cluster) Append(inputs [][]float64, targets []float64) error {
 		return err
 	}
 	if len(inputs) != len(targets) {
-		return fmt.Errorf("remote: Append with %d inputs but %d targets", len(inputs), len(targets))
+		return fmt.Errorf("%w: Append with %d inputs but %d targets", core.ErrConfig, len(inputs), len(targets))
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for i, row := range inputs {
 		if len(row) != c.data.D {
-			return fmt.Errorf("remote: Append pattern %d has width %d, want D=%d", i, len(row), c.data.D)
+			return fmt.Errorf("%w: Append pattern %d has width %d, want D=%d", core.ErrConfig, i, len(row), c.data.D)
 		}
 	}
 	if len(inputs) == 0 {
@@ -697,7 +709,7 @@ func (c *Cluster) Append(inputs [][]float64, targets []float64) error {
 	c.liveBy[si] += len(inputs)
 	c.nextID += series.RowID(len(inputs))
 	c.rebalanceLocked()
-	c.finishMutation()
+	c.finishMutationLocked()
 	return nil
 }
 
@@ -719,11 +731,11 @@ func (c *Cluster) deleteLocked(ids []series.RowID) int {
 	perServer := make([][]series.RowID, len(c.conns))
 	removed := 0
 	for _, id := range ids {
-		pos := c.locate(id)
-		if pos < 0 || c.isDead(pos) {
+		pos := c.locateLocked(id)
+		if pos < 0 || c.isDeadLocked(pos) {
 			continue
 		}
-		c.markDead(pos)
+		c.markDeadLocked(pos)
 		si := c.owner[pos]
 		perServer[si] = append(perServer[si], id)
 		c.liveBy[si]--
@@ -764,11 +776,11 @@ func (c *Cluster) deleteLocked(ids []series.RowID) int {
 		// would burn a redial + timeout per server while holding the
 		// write lock) and let the sticky error surface.
 		c.setFail(err)
-		c.finishMutation()
+		c.finishMutationLocked()
 		return removed
 	}
 	c.rebalanceLocked()
-	c.finishMutation()
+	c.finishMutationLocked()
 	return removed
 }
 
@@ -792,7 +804,7 @@ func (c *Cluster) Window(n int) int {
 	}
 	ids := make([]series.RowID, 0, evict)
 	for pos := 0; len(ids) < evict; pos++ {
-		if !c.isDead(pos) {
+		if !c.isDeadLocked(pos) {
 			ids = append(ids, c.data.IDs[pos])
 		}
 	}
@@ -831,7 +843,7 @@ func (c *Cluster) Compact() int {
 	n := c.data.Len()
 	next := 0
 	for pos := 0; pos < n; pos++ {
-		if c.isDead(pos) {
+		if c.isDeadLocked(pos) {
 			continue
 		}
 		c.data.Inputs[next] = c.data.Inputs[pos]
@@ -849,7 +861,7 @@ func (c *Cluster) Compact() int {
 	c.owner = c.owner[:next]
 	reclaimed := c.deadN
 	c.dead, c.deadN = nil, 0
-	c.finishMutation()
+	c.finishMutationLocked()
 	return reclaimed
 }
 
@@ -865,7 +877,7 @@ func (c *Cluster) Rebalance() int {
 	defer c.mu.Unlock()
 	ops := c.rebalanceAllLocked()
 	if ops > 0 {
-		c.finishMutation()
+		c.finishMutationLocked()
 	}
 	return ops
 }

@@ -76,7 +76,7 @@ func writeFrame(w interface {
 	Flush() error
 }, payload []byte) error {
 	if len(payload) > maxFrame {
-		return fmt.Errorf("remote: frame of %d bytes exceeds the %d-byte limit", len(payload), maxFrame)
+		return fmt.Errorf("%w: frame of %d bytes exceeds the %d-byte limit", ErrTransport, len(payload), maxFrame)
 	}
 	var hdr [4]byte
 	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
@@ -97,7 +97,7 @@ func readFrame(r io.Reader) ([]byte, error) {
 	}
 	n := binary.LittleEndian.Uint32(hdr[:])
 	if n > maxFrame {
-		return nil, fmt.Errorf("remote: frame of %d bytes exceeds the %d-byte limit", n, maxFrame)
+		return nil, fmt.Errorf("%w: frame of %d bytes exceeds the %d-byte limit", ErrTransport, n, maxFrame)
 	}
 	p := make([]byte, n)
 	if _, err := io.ReadFull(r, p); err != nil {
@@ -179,7 +179,10 @@ type dec struct {
 
 func (d *dec) fail(format string, args ...any) {
 	if d.err == nil {
-		d.err = fmt.Errorf("remote: decode: "+format, args...)
+		// A malformed frame is a protocol violation — transport class,
+		// so the cluster's sticky BackendErr classifies it like any
+		// other wire fault.
+		d.err = fmt.Errorf("%w: decode: "+format, append([]any{ErrTransport}, args...)...)
 	}
 }
 

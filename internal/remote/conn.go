@@ -52,10 +52,10 @@ type conn struct {
 	onRedial func(rt func(req []byte) ([]byte, error)) error
 
 	mu        sync.Mutex
-	nc        net.Conn
-	br        *bufio.Reader
-	bw        *bufio.Writer
-	connected bool // ever connected: the next dial is a REdial
+	nc        net.Conn      // guarded by mu
+	br        *bufio.Reader // guarded by mu
+	bw        *bufio.Writer // guarded by mu
+	connected bool          // guarded by mu: ever connected — the next dial is a REdial
 }
 
 // roundTrip sends one request and reads its response, dialing (or

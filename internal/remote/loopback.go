@@ -31,14 +31,19 @@ func (l *Loopback) DialContext(ctx context.Context) (net.Conn, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.stopped {
-		return nil, fmt.Errorf("loopback server is stopped")
+		return nil, fmt.Errorf("%w: loopback server is stopped", ErrTransport)
 	}
 	client, server := net.Pipe()
 	l.conns = append(l.conns, server)
 	l.wg.Add(1)
+	// The served end outlives the dial: detach from the dial context's
+	// cancellation (which fires as soon as the dial op completes) and
+	// let the pipe's close — Stop, or the client hanging up — end the
+	// serve loop, exactly as a TCP server's accept path would.
+	serveCtx := context.WithoutCancel(ctx)
 	go func() {
 		defer l.wg.Done()
-		l.srv.ServeConn(server)
+		l.srv.ServeConn(serveCtx, server)
 	}()
 	return client, nil
 }

@@ -29,7 +29,7 @@ type Server struct {
 	opt engine.Options
 
 	mu  sync.Mutex
-	eng *engine.Engine
+	eng *engine.Engine // guarded by mu: swapped wholesale by Reset
 }
 
 // NewServer returns a server with no dataset yet: the first Reset RPC
@@ -50,14 +50,16 @@ func NewServerData(ds *series.Dataset, opt engine.Options) *Server {
 }
 
 // Serve accepts connections until the listener closes, handling each
-// on its own goroutine. All connections share the server's engine.
-func (s *Server) Serve(l net.Listener) error {
+// on its own goroutine. All connections share the server's engine;
+// ctx is the serve root — cancelling it aborts every in-flight
+// request (the accept loop itself ends when the listener closes).
+func (s *Server) Serve(ctx context.Context, l net.Listener) error {
 	for {
 		conn, err := l.Accept()
 		if err != nil {
 			return err
 		}
-		go s.ServeConn(conn)
+		go s.ServeConn(ctx, conn)
 	}
 }
 
@@ -69,10 +71,12 @@ func (s *Server) Serve(l net.Listener) error {
 // reader then cancels the in-flight request's context, so a
 // mid-MatchBatch disconnect abandons the batch promptly instead of
 // computing results nobody will read. Every goroutine is joined
-// before ServeConn returns.
-func (s *Server) ServeConn(nc net.Conn) error {
+// before ServeConn returns. ctx is the connection's root: requests
+// inherit it, so cancelling it (process shutdown) aborts them the
+// same way a client disconnect does.
+func (s *Server) ServeConn(ctx context.Context, nc net.Conn) error {
 	defer nc.Close()
-	ctx, cancel := context.WithCancel(context.Background())
+	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
 	frames := make(chan []byte)

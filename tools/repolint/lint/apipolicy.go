@@ -1,0 +1,35 @@
+package lint
+
+import (
+	"strconv"
+	"strings"
+)
+
+// APIPolicy enforces the facade rule: binaries (cmd/) and examples
+// may only consume the public forecast facade, never
+// internal/core directly. The facade is the compatibility surface —
+// anything a binary reaches into core for is a capability the facade
+// is missing, which should be fixed there, not worked around.
+var APIPolicy = &Analyzer{
+	Name: "apipolicy",
+	Doc:  "cmd/ and examples/ import the forecast facade, never internal/core",
+	Run:  runAPIPolicy,
+}
+
+func runAPIPolicy(pass *Pass) {
+	if !inScope(pass.RelDir, []string{"cmd", "examples"}) {
+		return
+	}
+	banned := pass.Module + "/internal/core"
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			v, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if v == banned || strings.HasPrefix(v, banned+"/") {
+				pass.Reportf(imp.Pos(), "%s imports %s: binaries and examples must use the public forecast facade", pass.RelDir, v)
+			}
+		}
+	}
+}

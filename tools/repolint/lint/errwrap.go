@@ -1,0 +1,126 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// errBoundary lists the packages whose errors cross an API or process
+// boundary: the public forecast facade and the remote transport.
+// Callers there dispatch on sentinels (forecast.ErrData/ErrRemote,
+// remote.ErrTransport, core.ErrConfig) with errors.Is, so every error
+// built in these packages must wrap one — a bare fmt.Errorf produces
+// a string that no caller can classify.
+var errBoundary = []string{
+	"forecast",
+	"internal/remote",
+}
+
+// ErrWrap enforces the error-chain rules: module-wide, a fmt.Errorf
+// that is handed an error value must use %w (a %v silently severs the
+// chain for errors.Is/As); inside the boundary packages, every
+// fmt.Errorf must contain %w (wrapping a sentinel or a downstream
+// error) and errors.New may only appear in package-level sentinel
+// declarations.
+var ErrWrap = &Analyzer{
+	Name: "errwrap",
+	Doc:  "errors crossing the forecast/remote boundary wrap a sentinel; error args use %w",
+	Run:  runErrWrap,
+}
+
+func runErrWrap(pass *Pass) {
+	boundary := inScope(pass.RelDir, errBoundary)
+	for _, f := range pass.Files {
+		fmtName := importName(f, "fmt")
+		errorsName := importName(f, "errors")
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				if boundary && errorsName != "" && isIdent(sel.X, errorsName) && sel.Sel.Name == "New" {
+					pass.Reportf(call.Pos(), "errors.New inside a function builds an unclassifiable error: declare a package-level sentinel and wrap it with %%w")
+					return true
+				}
+				if fmtName == "" || !isIdent(sel.X, fmtName) || sel.Sel.Name != "Errorf" || len(call.Args) == 0 {
+					return true
+				}
+				format, literal := formatLiteral(call.Args[0])
+				if !literal {
+					return true // format built at runtime: unknown, not a violation
+				}
+				hasW := strings.Contains(format, "%w")
+				switch {
+				case boundary && !hasW:
+					pass.Reportf(call.Pos(), "fmt.Errorf without %%w in a boundary package: wrap a sentinel (ErrData/ErrRemote/ErrTransport/ErrConfig) so callers can errors.Is on it")
+				case !boundary && !hasW && hasErrorArg(pass, call.Args[1:]):
+					pass.Reportf(call.Pos(), "fmt.Errorf formats an error without %%w, severing the chain for errors.Is/As")
+				}
+				return true
+			})
+		}
+	}
+}
+
+// formatLiteral resolves a fmt format expression to the concatenation
+// of its string-literal parts; ok is false when no literal part is
+// visible (a runtime-built format).
+func formatLiteral(e ast.Expr) (s string, ok bool) {
+	switch t := e.(type) {
+	case *ast.BasicLit:
+		if t.Kind.String() != "STRING" {
+			return "", false
+		}
+		v, err := strconv.Unquote(t.Value)
+		if err != nil {
+			return "", false
+		}
+		return v, true
+	case *ast.BinaryExpr: // "prefix: " + format — the literal parts decide
+		l, lok := formatLiteral(t.X)
+		r, rok := formatLiteral(t.Y)
+		if !lok && !rok {
+			return "", false
+		}
+		return l + r, true
+	case *ast.ParenExpr:
+		return formatLiteral(t.X)
+	}
+	return "", false
+}
+
+// hasErrorArg reports whether any argument is an error value, by type
+// information when available and by the err-naming convention when the
+// type is unknown (stubbed stdlib imports leave gaps).
+func hasErrorArg(pass *Pass, args []ast.Expr) bool {
+	errType := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	for _, a := range args {
+		if tv, ok := pass.Info.Types[a]; ok && tv.Type != nil {
+			if types.Implements(tv.Type, errType) {
+				return true
+			}
+			// Typed (possibly imprecisely): trust the checker, skip the
+			// name heuristic only when the type resolved to something
+			// concrete and non-error.
+			if _, isBasic := tv.Type.Underlying().(*types.Basic); isBasic {
+				continue
+			}
+		}
+		if name := exprString(a); name == "err" || strings.HasSuffix(name, ".err") ||
+			strings.HasSuffix(name, "Err") || strings.HasSuffix(name, "Error()") {
+			return true
+		}
+	}
+	return false
+}

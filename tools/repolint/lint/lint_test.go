@@ -1,0 +1,129 @@
+package lint_test
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/tools/repolint/lint"
+)
+
+// wantRe extracts the expectation from a `// want "regex"` comment.
+// The quoted text is an unanchored regexp matched against the
+// diagnostic message reported on the same line.
+var wantRe = regexp.MustCompile(`// want "([^"]*)"`)
+
+type expectation struct {
+	file string // relative to the fixture root
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// loadExpectations walks a fixture module and collects every
+// `// want` annotation, keyed by file and line.
+func loadExpectations(t *testing.T, root string) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		rel, _ := filepath.Rel(root, path)
+		sc := bufio.NewScanner(f)
+		for line := 1; sc.Scan(); line++ {
+			for _, m := range wantRe.FindAllStringSubmatch(sc.Text(), -1) {
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					return fmt.Errorf("%s:%d: bad want regexp: %w", rel, line, err)
+				}
+				wants = append(wants, &expectation{file: rel, line: line, re: re})
+			}
+		}
+		return sc.Err()
+	})
+	if err != nil {
+		t.Fatalf("collecting want comments: %v", err)
+	}
+	return wants
+}
+
+// TestAnalyzersAgainstFixtures runs each analyzer over its fixture
+// module and demands an exact match between reported diagnostics and
+// `// want` annotations: a diagnostic with no want is a failure, and
+// so is a want with no diagnostic. This keeps the analyzers honest in
+// both directions — no silent false positives, no silent misses.
+func TestAnalyzersAgainstFixtures(t *testing.T) {
+	cases := []struct {
+		fixture    string
+		analyzer   *lint.Analyzer
+		suppressed int
+	}{
+		{"determinism", lint.Determinism, 1},
+		{"ctx", lint.CtxDiscipline, 0},
+		{"epoch", lint.Epoch, 0},
+		{"locks", lint.Locks, 0},
+		{"errwrap", lint.ErrWrap, 0},
+		{"apipolicy", lint.APIPolicy, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.fixture, func(t *testing.T) {
+			root := filepath.Join("testdata", "src", tc.fixture)
+			res, err := lint.Run(root, tc.fixture, []*lint.Analyzer{tc.analyzer})
+			if err != nil {
+				t.Fatalf("lint.Run: %v", err)
+			}
+			wants := loadExpectations(t, root)
+			if len(wants) == 0 {
+				t.Fatalf("fixture %s has no want annotations; the test would pass vacuously", tc.fixture)
+			}
+			for _, d := range res.Diags {
+				// Positions may be reported relative to the working
+				// directory or absolute; normalize to fixture-relative
+				// either way.
+				rel, err := filepath.Rel(root, d.Pos.Filename)
+				if err != nil || strings.HasPrefix(rel, "..") {
+					if abs, aerr := filepath.Abs(root); aerr == nil {
+						if r2, rerr := filepath.Rel(abs, d.Pos.Filename); rerr == nil {
+							rel = r2
+						}
+					}
+				}
+				matched := false
+				for _, w := range wants {
+					if w.hit || w.file != rel || w.line != d.Pos.Line {
+						continue
+					}
+					if w.re.MatchString(d.Message) {
+						w.hit = true
+						matched = true
+						break
+					}
+				}
+				if !matched {
+					t.Errorf("unexpected diagnostic: %s", d)
+				}
+			}
+			for _, w := range wants {
+				if !w.hit {
+					t.Errorf("%s:%d: want %q: no matching diagnostic", w.file, w.line, w.re)
+				}
+			}
+			if res.Suppressed != tc.suppressed {
+				t.Errorf("suppressed = %d, want %d", res.Suppressed, tc.suppressed)
+			}
+		})
+	}
+}

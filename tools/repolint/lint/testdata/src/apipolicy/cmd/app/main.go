@@ -1,0 +1,13 @@
+// Command app reaches into internal/core — the import policy
+// violation.
+package main
+
+import (
+	"fmt"
+
+	"apipolicy/internal/core" // want "cmd/app imports apipolicy/internal/core: binaries and examples must use the public forecast facade"
+)
+
+func main() {
+	fmt.Println(core.Rule{D: 3}.D)
+}

@@ -1,0 +1,12 @@
+// Command demo shows the rule binds examples/ too.
+package main
+
+import (
+	"fmt"
+
+	"apipolicy/internal/core" // want "examples/demo imports apipolicy/internal/core"
+)
+
+func main() {
+	fmt.Println(core.Rule{D: 3}.D)
+}

@@ -1,0 +1,8 @@
+// Package forecast is the public facade — the one sanctioned consumer
+// of internal/core.
+package forecast
+
+import "apipolicy/internal/core"
+
+// Width exposes a core capability through the facade.
+func Width(r core.Rule) int { return r.D }

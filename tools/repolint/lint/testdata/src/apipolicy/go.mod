@@ -1,0 +1,3 @@
+module apipolicy
+
+go 1.22

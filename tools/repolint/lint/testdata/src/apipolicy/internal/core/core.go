@@ -1,0 +1,5 @@
+// Package core stands in for the engine internals the facade hides.
+package core
+
+// Rule is an internal type binaries must not reach for.
+type Rule struct{ D int }

@@ -1,0 +1,17 @@
+// Command app shows the exemption: func main is where root contexts
+// are born.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background()
+	_ = run(ctx)
+}
+
+// run inherits main's context; minting its own would be flagged.
+func run(ctx context.Context) error {
+	detached := context.Background() // want "context.Background outside func main severs the cancellation chain"
+	_ = detached
+	return ctx.Err()
+}

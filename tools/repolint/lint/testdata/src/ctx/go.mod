@@ -1,0 +1,3 @@
+module ctx
+
+go 1.22

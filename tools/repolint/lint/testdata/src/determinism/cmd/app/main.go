@@ -1,0 +1,15 @@
+// Command app shows the scope boundary: cmd/ is presentation, where
+// wall clocks and map ranges are fine.
+package main
+
+import (
+	"fmt"
+	"time"
+)
+
+func main() {
+	fmt.Println(time.Now())
+	for k, v := range map[string]int{"a": 1} {
+		fmt.Println(k, v)
+	}
+}

@@ -1,0 +1,3 @@
+module determinism
+
+go 1.22

@@ -1,0 +1,45 @@
+// Package core is the determinism fixture: every forbidden construct
+// once, inside the checked scope.
+package core
+
+import (
+	"math/rand" // want "import of math/rand: all randomness must come from a seeded internal/rng.Source"
+	"time"
+)
+
+// Roll draws from the global RNG — forbidden in the evaluation core.
+func Roll() int { return rand.Intn(6) }
+
+// Stamp reads the wall clock.
+func Stamp() int64 {
+	t := time.Now() // want "time.Now reads the wall clock"
+	return t.Unix()
+}
+
+// Sum ranges over a map — nondeterministic iteration order.
+func Sum(m map[string]int) int {
+	n := 0
+	for _, v := range m { // want "ranging over a map iterates in nondeterministic order"
+		n += v
+	}
+	return n
+}
+
+// SumSorted is the blessed shape: iterate a sorted key slice.
+func SumSorted(m map[string]int, keys []string) int {
+	n := 0
+	for _, k := range keys {
+		n += m[k]
+	}
+	return n
+}
+
+// SumSuppressed carries an inline suppression: counted, not reported.
+func SumSuppressed(m map[string]int) int {
+	n := 0
+	//lint:ignore determinism fixture: order-insensitive count
+	for _, v := range m {
+		n += v
+	}
+	return n
+}

@@ -1,0 +1,3 @@
+module epoch
+
+go 1.22

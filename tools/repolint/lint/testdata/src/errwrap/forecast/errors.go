@@ -1,0 +1,32 @@
+// Package forecast is the boundary half of the errwrap fixture: every
+// error built here crosses the public facade, so each one must wrap a
+// sentinel.
+package forecast
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrData is a package-level sentinel: the one sanctioned errors.New.
+var ErrData = errors.New("forecast: bad data")
+
+// Open wraps the sentinel — the blessed shape.
+func Open(name string) error {
+	return fmt.Errorf("%w: cannot open %q", ErrData, name)
+}
+
+// Bare builds an unclassifiable error at the boundary.
+func Bare(name string) error {
+	return fmt.Errorf("cannot open %q", name) // want "fmt.Errorf without %w in a boundary package"
+}
+
+// Inline mints a sentinel-less error inside a function.
+func Inline() error {
+	return errors.New("transient") // want "errors.New inside a function builds an unclassifiable error"
+}
+
+// Concat keeps the %w in a built-up format string — still fine.
+func Concat(name string, err error) error {
+	return fmt.Errorf("%w: "+"open %q: %v", ErrData, name, err)
+}

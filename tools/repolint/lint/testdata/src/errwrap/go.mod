@@ -1,0 +1,3 @@
+module errwrap
+
+go 1.22

@@ -1,0 +1,21 @@
+// Package series is the module-wide half of the errwrap fixture:
+// outside the boundary packages, fmt.Errorf is free-form — unless it
+// formats an error, which must travel through %w.
+package series
+
+import "fmt"
+
+// Wrap preserves the chain.
+func Wrap(err error) error {
+	return fmt.Errorf("parse: %w", err)
+}
+
+// Sever formats the error with %v, losing errors.Is/As.
+func Sever(err error) error {
+	return fmt.Errorf("parse: %v", err) // want "fmt.Errorf formats an error without %w"
+}
+
+// Plain formats no error at all: nothing to wrap.
+func Plain(line int) error {
+	return fmt.Errorf("parse failure at line %d", line)
+}

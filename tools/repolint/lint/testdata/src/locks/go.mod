@@ -1,0 +1,3 @@
+module locks
+
+go 1.22

@@ -1,0 +1,49 @@
+// Package engine is the lock-discipline fixture: guarded fields,
+// *Locked helpers, read-lock writes, and unpaired Lock calls.
+package engine
+
+import "sync"
+
+// Store has one annotated field; the analyzer keys on the comment.
+type Store struct {
+	mu   sync.RWMutex
+	data []int // guarded by mu
+	n    int   // unguarded: freely accessible
+}
+
+// Len locks correctly.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.data)
+}
+
+// Peek touches the guarded field with no lock and no Locked name.
+func (s *Store) Peek() int {
+	return s.data[0] // want "Peek touches s.data .guarded by mu. without locking mu"
+}
+
+// peekLocked is the documented callers-hold-mu shape.
+func (s *Store) peekLocked() int { return s.data[0] }
+
+// Grow writes under only the read lock.
+func (s *Store) Grow() {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.data = append(s.data, 0) // want "Grow writes s.data .guarded by mu. while holding only the read lock"
+}
+
+// Count touches only the unguarded field: no lock needed.
+func (s *Store) Count() int { return s.n }
+
+// Leak locks and never unlocks.
+func (s *Store) Leak() {
+	s.mu.Lock() // want "Leak calls s.mu.Lock.. but never s.mu.Unlock.."
+	s.data = nil
+}
+
+// Typo defers the Lock instead of the Unlock.
+func (s *Store) Typo() {
+	defer s.mu.Lock() // want "defer s.mu.Lock.. — the classic typo"
+	s.data = nil
+}

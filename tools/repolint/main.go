@@ -1,0 +1,53 @@
+// Command repolint runs the repository's invariant analyzers over the
+// whole module. It is dependency-free (stdlib go/ast + go/types only)
+// and is wired into CI as:
+//
+//	go run ./tools/repolint ./...
+//
+// The package pattern argument is accepted for familiarity but the
+// tool always lints every package of the enclosing module. Exit
+// status is 1 when any diagnostic survives; suppressions
+// (//lint:ignore <analyzer> <reason>) are counted and printed so
+// their number stays reviewable.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/tools/repolint/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	root, module, err := lint.ModuleRoot(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	res, err := lint.Run(root, module, lint.All)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	for _, d := range res.Diags {
+		fmt.Println(d)
+	}
+	if res.Suppressed > 0 {
+		fmt.Fprintf(os.Stderr, "repolint: %d diagnostic(s) suppressed by //lint:ignore\n", res.Suppressed)
+	}
+	if len(res.Diags) > 0 {
+		fmt.Fprintf(os.Stderr, "repolint: %d violation(s)\n", len(res.Diags))
+		os.Exit(1)
+	}
+}
