@@ -21,6 +21,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/neural"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/series"
 )
@@ -402,6 +403,28 @@ func BenchmarkEngineBatch(b *testing.B) {
 	eng := engine.New(ds, engine.Options{Shards: 8})
 	ev := core.NewEvaluatorOpt(ds, 0.2, 0, 1e-8, 0,
 		core.EvalOptions{Backend: eng, Cache: eng.Cache()})
+	rules := benchEngineRules(b, ds, engineBenchBatch)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev.EvaluateAll(context.Background(), rules[i*engineBenchBatch:(i+1)*engineBenchBatch])
+	}
+}
+
+// BenchmarkEngineBatchInstrumented is BenchmarkEngineBatch with a live
+// telemetry registry wired through every layer it touches (the
+// engine's batch histograms and mutation gauges, the cache counters,
+// the evaluator's computed/cached counters). It is the overhead guard
+// for the observability seam: compare against BenchmarkEngineBatch in
+// BENCH_engine.json (tools/benchdiff automates the comparison) — the
+// delta must stay within run-to-run noise, since every hook is atomic
+// adds behind one nil check.
+func BenchmarkEngineBatchInstrumented(b *testing.B) {
+	ds := benchTrainDataset(b, 10000, 24)
+	eng := engine.New(ds, engine.Options{Shards: 8})
+	reg := obs.New()
+	eng.Instrument(reg)
+	ev := core.NewEvaluatorOpt(ds, 0.2, 0, 1e-8, 0,
+		core.EvalOptions{Backend: eng, Cache: eng.Cache(), Telemetry: reg})
 	rules := benchEngineRules(b, ds, engineBenchBatch)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -36,6 +36,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/remote"
 	"repro/internal/series"
 )
@@ -114,6 +115,7 @@ type store interface {
 	P() int
 	LiveSpread() (lo, hi int)
 	Cache() *engine.SharedCache
+	Instrument(*obs.Registry)
 }
 
 // closeStore releases a store's external resources (a remote
@@ -210,6 +212,9 @@ func (f *Forecaster) Fit(ctx context.Context, ds *Dataset) error {
 		})
 	}
 	if st != nil {
+		if f.s.telemetry != nil {
+			st.Instrument(f.s.telemetry)
+		}
 		if f.s.slidingWin > 0 {
 			st.Window(f.s.slidingWin)
 		}
@@ -222,6 +227,7 @@ func (f *Forecaster) Fit(ctx context.Context, ds *Dataset) error {
 			return fmt.Errorf("%w: sliding window left no training patterns", ErrData)
 		}
 	}
+	f.trace("fit_start", map[string]any{"rows": data.Len(), "d": data.D, "horizon": data.Horizon})
 	rs, stats, err := f.train(ctx, data, st)
 	if rs == nil || (err != nil && stats.Executions == 0) {
 		// Config/data/transport error, or cancelled before any
@@ -236,6 +242,13 @@ func (f *Forecaster) Fit(ctx context.Context, ds *Dataset) error {
 		closeStore(f.eng) // the previous fit's cluster, if any
 	}
 	f.data, f.eng, f.rs, f.fit = data, st, rs, stats
+	f.trace("fit_done", map[string]any{
+		"executions":   stats.Executions,
+		"generations":  stats.Generations,
+		"coverage":     stats.Coverage,
+		"rules":        stats.Rules,
+		"best_fitness": stats.BestFitness,
+	})
 	return err // nil, or ctx.Err() with the best-so-far system installed
 }
 
@@ -268,6 +281,7 @@ func (f *Forecaster) config(data *Dataset, eng store) core.Config {
 		cfg.Seed = f.s.seed
 	}
 	cfg.Runtime.Workers = f.s.workers
+	cfg.Runtime.Telemetry = f.s.telemetry
 	if eng != nil {
 		cfg.Runtime.Backend = eng
 		if f.s.sharedCache {
@@ -397,6 +411,7 @@ func (f *Forecaster) Append(ctx context.Context, inputs [][]float64, targets []f
 	}
 	f.eng.Compact()
 	f.data = f.eng.Data()
+	f.trace("append", map[string]any{"rows": len(inputs), "live": f.eng.LiveLen()})
 	return f.Refit(ctx)
 }
 
@@ -416,6 +431,7 @@ func (f *Forecaster) Evict(n int) int {
 	evicted := f.eng.Window(keep)
 	f.eng.Compact()
 	f.data = f.eng.Data()
+	f.trace("evict", map[string]any{"requested": n, "evicted": evicted, "live": f.eng.LiveLen()})
 	return evicted
 }
 

@@ -51,6 +51,8 @@ type settings struct {
 
 	progress      func(Progress) bool
 	progressEvery int
+
+	telemetry *Telemetry
 }
 
 // WithHorizon declares the prediction horizon τ the Forecaster

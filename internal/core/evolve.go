@@ -31,6 +31,8 @@ type Execution struct {
 	src      *rng.Source
 	mut      *mutator
 	predSpan float64
+	tel      *runTelemetry // nil = telemetry disabled (see Runtime.Telemetry)
+	bestSeen float64       // best fitness the telemetry gauges have reported
 }
 
 // NewExecution prepares (but does not run) an execution: it validates
@@ -60,9 +62,10 @@ func NewExecution(ctx context.Context, cfg Config, data *series.Dataset) (*Execu
 	ex := &Execution{
 		Config: cfg,
 		Eval: NewEvaluatorOpt(data, emax, cfg.FMin, cfg.Ridge, cfg.Runtime.Workers,
-			EvalOptions{Index: cfg.Runtime.Index, Backend: cfg.Runtime.Backend, Cache: cfg.Runtime.Cache}),
+			EvalOptions{Index: cfg.Runtime.Index, Backend: cfg.Runtime.Backend, Cache: cfg.Runtime.Cache, Telemetry: cfg.Runtime.Telemetry}),
 		src:      rng.New(cfg.Seed),
 		predSpan: hi - lo,
+		tel:      newRunTelemetry(cfg.Runtime.Telemetry),
 	}
 	ex.Stats.EMaxResolved = emax
 
@@ -91,15 +94,13 @@ func NewExecution(ctx context.Context, cfg Config, data *series.Dataset) (*Execu
 	if err := ex.Eval.EvaluateAll(ctx, ex.Pop); err != nil {
 		return nil, fmt.Errorf("core: initial population evaluation: %w", err)
 	}
+	ex.noteInitialBest()
 	return ex, nil
 }
 
-// Step performs one steady-state generation: select two parents by
-// 3-round trials, produce one offspring by uniform crossover, mutate
-// it, evaluate it, and let it replace the phenotypically nearest
-// individual iff it is fitter (crowding). Returns true if the
-// offspring entered the population.
-func (ex *Execution) Step() bool {
+// step is the Step implementation; the exported wrapper (telemetry.go)
+// adds the optional per-generation instrumentation.
+func (ex *Execution) step() bool {
 	cfg := &ex.Config
 	var child *Rule
 	if ex.src.Bool(cfg.CrossoverRate) {
@@ -133,6 +134,7 @@ func (ex *Execution) Step() bool {
 	if child.Fitness > ex.Pop[target].Fitness {
 		ex.Pop[target] = child
 		ex.Stats.Replacements++
+		ex.noteImprovement(child)
 		return true
 	}
 	return false
@@ -156,6 +158,7 @@ func (ex *Execution) Run(ctx context.Context) error {
 		ex.Step()
 	}
 	ex.refreshStats()
+	ex.noteRunDone()
 	if err := ex.Eval.BackendErr(); err != nil {
 		return err
 	}

@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"repro/internal/linalg"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/series"
 )
@@ -30,6 +31,11 @@ type Evaluator struct {
 	idx     *MatchIndex // nil when backend is set
 	backend Backend
 	cache   EvalCache
+
+	// Telemetry counters (nil handles no-op): full evaluations
+	// performed vs results served from the cache.
+	evalsComputed *obs.Counter
+	evalsCached   *obs.Counter
 }
 
 // EvalOptions carries the optional shared machinery an Evaluator can
@@ -55,6 +61,9 @@ type EvalOptions struct {
 	// scopes them, so a cache without its backend could leak results
 	// across datasets or data epochs.
 	Cache EvalCache
+	// Telemetry registers the computed-vs-cached evaluation counters;
+	// nil disables them (see Runtime.Telemetry).
+	Telemetry *obs.Registry
 }
 
 // NewEvaluator builds an evaluator over the training dataset,
@@ -93,6 +102,10 @@ func NewEvaluatorOpt(data *series.Dataset, emax, fmin, ridge float64, workers in
 	}
 	if e.cache == nil {
 		e.cache = newEvalCache()
+	}
+	if opt.Telemetry != nil {
+		e.evalsComputed = opt.Telemetry.Counter("core_evals_computed")
+		e.evalsCached = opt.Telemetry.Counter("core_evals_cached")
 	}
 	return e
 }
@@ -208,6 +221,7 @@ func (e *Evaluator) Evaluate(r *Rule) {
 	key := e.evalKey(r.Cond)
 	if c := e.cache.Get(key); c != nil {
 		c.apply(r)
+		e.evalsCached.Inc()
 		return
 	}
 	idx := e.MatchIndices(r)
@@ -219,6 +233,7 @@ func (e *Evaluator) Evaluate(r *Rule) {
 	}
 	e.evalFromMatches(r, idx)
 	e.cache.Put(key, resultOf(r))
+	e.evalsComputed.Inc()
 }
 
 // evalFromMatches is the post-match half of an evaluation: given the
@@ -392,7 +407,9 @@ func (e *Evaluator) EvaluateBatch(ctx context.Context, rules []*Rule) error {
 			e.cache.Put(k, fresh[i])
 			results[k] = fresh[i]
 		}
+		e.evalsComputed.Add(uint64(len(work)))
 	}
+	e.evalsCached.Add(uint64(len(rules) - len(work)))
 	for i, r := range rules {
 		results[keys[i]].apply(r)
 	}

@@ -1,6 +1,10 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
 
 // Runtime collects the execution-machinery knobs of a run — how fast
 // it goes, never what it computes. Every field is a pure speed (or
@@ -43,6 +47,13 @@ type Runtime struct {
 	// epoch, a shared store could leak results across datasets —
 	// Validate rejects the pairing.
 	Cache EvalCache
+
+	// Telemetry optionally attaches a metrics registry: per-generation
+	// durations, evaluations computed vs cache-served, and the
+	// best-of-run trajectory, plus trace events when the registry has a
+	// tracer. Purely observational — results are bit-identical with or
+	// without it, which is why it lives in Runtime and not Config.
+	Telemetry *obs.Registry
 }
 
 // Validate checks the runtime for consistency. A Cache without a

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestRunTelemetry runs one fake-clocked execution with a registry and
+// trace sink attached and checks every core metric: generation counts
+// and durations, the evaluation counters, the best-of-run trajectory
+// gauges, and the trace events' envelope.
+func TestRunTelemetry(t *testing.T) {
+	ds := sineDataset(t, 200, 4)
+	cfg := quickConfig(4, 1)
+	var tick int64
+	reg := obs.NewWithClock(func() int64 { tick += 7; return tick })
+	var buf bytes.Buffer
+	reg.TraceTo(obs.NewTracer(&buf, func() int64 { return tick }))
+	cfg.Runtime.Telemetry = reg
+
+	ex, err := NewExecution(context.Background(), cfg, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ex.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	s := reg.Snapshot()
+	if n := s["core_generations"].(uint64); n != uint64(cfg.Generations) {
+		t.Fatalf("core_generations = %d, want %d", n, cfg.Generations)
+	}
+	hv := s["core_generation_ns"].(obs.HistogramValue)
+	if hv.Count != uint64(cfg.Generations) {
+		t.Fatalf("core_generation_ns count = %d, want %d", hv.Count, cfg.Generations)
+	}
+	if hv.Sum <= 0 {
+		t.Fatalf("core_generation_ns sum = %d, want positive fake-clock durations", hv.Sum)
+	}
+	if got := s["core_best_fitness"].(float64); got != ex.Stats.BestFitness {
+		t.Fatalf("core_best_fitness gauge = %v, Stats.BestFitness %v (pop best is monotone under crowding)",
+			got, ex.Stats.BestFitness)
+	}
+	computed := s["core_evals_computed"].(uint64)
+	cached, _ := s["core_evals_cached"].(uint64)
+	// Every rule carries an evaluation: the initial population plus one
+	// offspring per generation, each either computed or cache-served.
+	want := uint64(cfg.PopSize + cfg.Generations)
+	if computed+cached != want {
+		t.Fatalf("core_evals computed %d + cached %d = %d, want %d", computed, cached, computed+cached, want)
+	}
+	if computed == 0 {
+		t.Fatal("core_evals_computed = 0, nothing was ever regressed")
+	}
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("trace has %d lines, want at least best_improved + execution_done", len(lines))
+	}
+	sawImproved, sawDone := false, false
+	for _, ln := range lines {
+		var ev struct {
+			TS     int64          `json:"ts_ns"`
+			Event  string         `json:"event"`
+			Fields map[string]any `json:"fields"`
+		}
+		if err := json.Unmarshal([]byte(ln), &ev); err != nil {
+			t.Fatalf("trace line %q: %v", ln, err)
+		}
+		switch ev.Event {
+		case "best_improved":
+			sawImproved = true
+			if _, ok := ev.Fields["fitness"]; !ok {
+				t.Fatalf("best_improved without fitness: %q", ln)
+			}
+		case "execution_done":
+			sawDone = true
+			if g, _ := ev.Fields["generations"].(float64); int(g) != cfg.Generations {
+				t.Fatalf("execution_done generations = %v, want %d", ev.Fields["generations"], cfg.Generations)
+			}
+		}
+	}
+	if !sawImproved || !sawDone {
+		t.Fatalf("trace missing events: best_improved=%v execution_done=%v", sawImproved, sawDone)
+	}
+}
+
+// TestTelemetryDoesNotChangeResults pins the bit-identical contract:
+// the same seed with and without a registry attached evolves the same
+// population.
+func TestTelemetryDoesNotChangeResults(t *testing.T) {
+	ds := sineDataset(t, 200, 4)
+	run := func(reg *obs.Registry) []*Rule {
+		cfg := quickConfig(4, 42)
+		cfg.Generations = 150
+		cfg.Runtime.Telemetry = reg
+		ex, err := NewExecution(context.Background(), cfg, ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ex.Run(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		return ex.Pop
+	}
+	plain := run(nil)
+	instr := run(obs.New())
+	if len(plain) != len(instr) {
+		t.Fatalf("population sizes differ: %d vs %d", len(plain), len(instr))
+	}
+	for i := range plain {
+		if plain[i].Fitness != instr[i].Fitness || plain[i].Error != instr[i].Error {
+			t.Fatalf("rule %d diverged with telemetry attached: %+v vs %+v", i, plain[i], instr[i])
+		}
+	}
+}

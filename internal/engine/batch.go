@@ -16,24 +16,9 @@ type batchPlan struct {
 	wildcard bool // all-wildcard rule: every pattern matches
 }
 
-// MatchBatch answers one whole generation of rules in a single
-// scheduling pass. Instead of per-rule dispatch it (1) computes each
-// rule's most selective lag once, by summing the per-shard candidate
-// ranges of every gene (the per-shard lookups reuse exactly these
-// ranges, so the pass costs nothing extra); (2) groups rules by that
-// lag and walks each shard index once per group — all rules of a
-// group probe the same sorted value/permutation arrays back to back,
-// which keeps those arrays hot in cache; (3) fans the groups out
-// across shards on separate goroutines and merges per-shard hits
-// through the global bitmap. out[i] corresponds to rules[i] and is
-// bit-identical to MatchIndices(rules[i]) — grouping and fan-out are
-// pure scheduling.
-//
-// The context bounds every parallel pass: once it is cancelled the
-// remaining scheduling work is skipped, all fan-out goroutines drain
-// before MatchBatch returns, and the result is incomplete — callers
-// must check ctx.Err() and discard it (core.Evaluator does).
-func (s *Shards) MatchBatch(ctx context.Context, rules []*core.Rule) [][]int {
+// matchBatch is the MatchBatch implementation; the exported wrapper
+// (telemetry.go) adds the optional latency/size instrumentation.
+func (s *Shards) matchBatch(ctx context.Context, rules []*core.Rule) [][]int {
 	out := make([][]int, len(rules))
 	if len(rules) == 0 {
 		return out

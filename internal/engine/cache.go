@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // SharedCache is a concurrency-safe evaluation-result cache shared
@@ -35,6 +36,27 @@ type SharedCache struct {
 	cap    int                         // fixed at construction
 	hits   atomic.Int64
 	misses atomic.Int64
+
+	// Registry mirrors of the counters above plus the bypass count,
+	// set by Instrument before the cache is shared; nil handles no-op.
+	obsHits   *obs.Counter
+	obsMisses *obs.Counter
+	obsBypass *obs.Counter
+}
+
+// Instrument attaches a metrics registry: engine_cache_hits and
+// engine_cache_misses mirror the Stats counters, and
+// engine_cache_bypass counts entries forcibly dropped by Invalidate
+// (results the epoch bump expired before they could be reused). Call
+// it before the cache is shared across goroutines; nil detaches.
+func (c *SharedCache) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		c.obsHits, c.obsMisses, c.obsBypass = nil, nil, nil
+		return
+	}
+	c.obsHits = reg.Counter("engine_cache_hits")
+	c.obsMisses = reg.Counter("engine_cache_misses")
+	c.obsBypass = reg.Counter("engine_cache_bypass")
 }
 
 // DefaultCacheCapacity bounds each generation of the shared cache.
@@ -70,6 +92,7 @@ func (c *SharedCache) Get(key string) *core.EvalResult {
 	c.mu.RUnlock()
 	if e == nil {
 		c.misses.Add(1)
+		c.obsMisses.Inc()
 		return nil
 	}
 	if fromPrev {
@@ -81,6 +104,7 @@ func (c *SharedCache) Get(key string) *core.EvalResult {
 		c.mu.Unlock()
 	}
 	c.hits.Add(1)
+	c.obsHits.Inc()
 	return e
 }
 
@@ -107,9 +131,11 @@ func (c *SharedCache) rotateIfFullLocked() {
 // them frees the memory too. Counters are preserved.
 func (c *SharedCache) Invalidate() {
 	c.mu.Lock()
+	dropped := len(c.hot) + len(c.prev)
 	c.hot = make(map[string]*core.EvalResult)
 	c.prev = make(map[string]*core.EvalResult)
 	c.mu.Unlock()
+	c.obsBypass.Add(uint64(dropped))
 }
 
 // Len returns the number of resident entries across both generations

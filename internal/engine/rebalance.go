@@ -23,13 +23,9 @@ import (
 // steady streams don't thrash.
 const rebalanceBound = 2
 
-// Rebalance runs the split/merge policy until live shard sizes are
-// balanced (or a safety cap of steps is hit), returning the number of
-// split/merge steps taken. It is invoked automatically after
-// Append/Delete/Window/Compact when Options.Rebalance is set, and can
-// always be called explicitly. Each step rebuilds only the indexes of
-// the one or two shards it touches.
-func (s *Shards) Rebalance() int {
+// rebalance is the Rebalance implementation; the exported wrapper
+// (telemetry.go) adds the optional timing instrumentation.
+func (s *Shards) rebalance() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	ops := s.rebalanceLocked()

@@ -61,6 +61,7 @@ type Shards struct {
 	parts   []*shard        // guarded by mu
 	workers int             // fixed at construction
 	epoch   atomic.Uint64
+	tel     *telemetry // set by Instrument before the shards are shared; nil = disabled
 
 	deadTotal int          // guarded by mu: tombstoned rows awaiting compaction, across all shards
 	nextID    series.RowID // guarded by mu: next RowID to assign on Append
@@ -322,14 +323,9 @@ func (s *Shards) Append(inputs [][]float64, targets []float64) error {
 	return s.AppendRows(inputs, targets, nil)
 }
 
-// AppendRows is Append with caller-chosen stable ids — the remote
-// shard server's hook: a scatter/gather client owns the global RowID
-// space, so each server must adopt the ids its slice of a chunk was
-// assigned instead of numbering rows itself. ids must be strictly
-// ascending and greater than every id already in the store (the
-// invariant all mutations preserve); nil means number the rows
-// automatically, which is exactly Append.
-func (s *Shards) AppendRows(inputs [][]float64, targets []float64, ids []series.RowID) error {
+// appendRows is the AppendRows implementation; the exported wrapper
+// (telemetry.go) adds the optional timing instrumentation.
+func (s *Shards) appendRows(inputs [][]float64, targets []float64, ids []series.RowID) error {
 	if len(inputs) != len(targets) {
 		return fmt.Errorf("engine: Append with %d inputs but %d targets", len(inputs), len(targets))
 	}

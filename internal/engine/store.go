@@ -43,13 +43,9 @@ func (s *Shards) locateLocked(id series.RowID) (*shard, int) {
 	return nil, -1
 }
 
-// Delete tombstones the rows with the given stable ids and returns
-// how many were live before the call. Unknown or already-dead ids are
-// ignored. Matched sets exclude the rows immediately; the epoch bump
-// expires every cached evaluation. Shards whose dead ratio crosses
-// the compaction threshold are compacted before Delete returns, and
-// when rebalancing is enabled the surviving layout is rebalanced.
-func (s *Shards) Delete(ids []series.RowID) int {
+// deleteRows is the Delete implementation; the exported wrapper
+// (telemetry.go) adds the optional timing instrumentation.
+func (s *Shards) deleteRows(ids []series.RowID) int {
 	if len(ids) == 0 {
 		return 0
 	}
@@ -69,13 +65,9 @@ func (s *Shards) Delete(ids []series.RowID) int {
 	return removed
 }
 
-// Window keeps only the newest n live rows and tombstones every older
-// one — the sliding-window primitive — returning the number evicted.
-// "Newest" is insertion order (ascending RowID), so a stream that
-// appends chunks and calls Window(w) after each one trains on exactly
-// the trailing w patterns. Eviction triggers the same threshold
-// compaction and rebalancing as Delete.
-func (s *Shards) Window(n int) int {
+// window is the Window implementation; the exported wrapper
+// (telemetry.go) adds the optional timing instrumentation.
+func (s *Shards) window(n int) int {
 	if n < 0 {
 		n = 0
 	}
@@ -119,13 +111,9 @@ func (s *Shards) Window(n int) int {
 	return evict
 }
 
-// Compact physically removes every tombstoned row: each shard holding
-// dead rows is rewritten live-only and its index rebuilt, and the
-// global dataset view shrinks in place (Data() keeps its pointer).
-// Untouched shards keep their indexes — only their global numbering
-// is remapped, an O(n) sweep that costs a fraction of one index
-// rebuild. Returns the number of rows reclaimed.
-func (s *Shards) Compact() int {
+// compact is the Compact implementation; the exported wrapper
+// (telemetry.go) adds the optional timing instrumentation.
+func (s *Shards) compact() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var sel []int

@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugServer is a live diagnostics endpoint: /debug/vars merges the
+// process's expvar state with every registry metric (flattened to top
+// level, so scrapers grep for plain metric names), and /debug/pprof
+// serves the full net/http/pprof suite. Start one with ServeDebug.
+type DebugServer struct {
+	l   net.Listener
+	srv *http.Server
+}
+
+// ServeDebug listens on addr and serves /debug/vars and /debug/pprof
+// in a background goroutine until Close. A dedicated mux — not
+// http.DefaultServeMux — so importing obs never mounts debug handlers
+// on an application's own server. reg may be nil (expvar and pprof
+// only).
+func ServeDebug(addr string, reg *Registry) (*DebugServer, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: debug listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		io.WriteString(w, "{\n")
+		first := true
+		expvar.Do(func(kv expvar.KeyValue) {
+			if !first {
+				io.WriteString(w, ",\n")
+			}
+			first = false
+			fmt.Fprintf(w, "%q: %s", kv.Key, kv.Value)
+		})
+		reg.writeVars(w, &first)
+		io.WriteString(w, "\n}\n")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ds := &DebugServer{l: l, srv: &http.Server{Handler: mux}}
+	go ds.srv.Serve(l)
+	return ds, nil
+}
+
+// Addr is the bound listen address (resolves ":0" to the real port).
+func (d *DebugServer) Addr() string { return d.l.Addr().String() }
+
+// Close shuts the endpoint down.
+func (d *DebugServer) Close() error {
+	if d == nil {
+		return nil
+	}
+	return d.srv.Close()
+}
+
+// writeVars appends the registry's metrics to an in-progress JSON
+// object, one `"name": value` pair per metric in sorted name order.
+// first tracks whether a comma is owed from earlier pairs.
+func (r *Registry) writeVars(w io.Writer, first *bool) {
+	if r == nil {
+		return
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, name := range r.names {
+		b, err := json.Marshal(metricValue(r.byName[name]))
+		if err != nil {
+			continue
+		}
+		if !*first {
+			io.WriteString(w, ",\n")
+		}
+		*first = false
+		fmt.Fprintf(w, "%q: %s", name, b)
+	}
+}

@@ -1,0 +1,299 @@
+// Package obs is the repository's stdlib-only telemetry layer: an
+// atomic metrics registry (counters, gauges and histograms, lock-free
+// on the hot path), a monotonic Clock seam so instrumented packages
+// never read the wall clock themselves, and a structured JSONL trace
+// sink for span-style run events (see trace.go). ServeDebug (debug.go)
+// exposes a registry over HTTP as /debug/vars alongside net/http/pprof.
+//
+// Instrumentation is strictly optional: a nil *Registry is the valid
+// "telemetry disabled" registry — every method on it no-ops, and every
+// metric accessor returns a nil handle whose methods are equally
+// inert. An instrumented hot path therefore pays one nil check and
+// zero allocations when no registry is configured.
+//
+// obs owns the clock for the whole module: the determinism analyzer in
+// tools/repolint forbids time.Now/Since/Until everywhere else in the
+// evaluation core, so instrumented packages measure durations only
+// through Registry.Now (a Clock), which tests replace with a counter
+// to get deterministic timings.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Clock returns a monotonic timestamp in nanoseconds. It is the only
+// time source instrumented packages use: production registries read
+// SystemClock, tests substitute their own so measured durations are
+// deterministic. Only differences between readings are meaningful.
+type Clock func() int64
+
+// processStart anchors SystemClock. time.Since carries the monotonic
+// reading, so measured durations are immune to wall-clock steps.
+var processStart = time.Now()
+
+// SystemClock is the production Clock: monotonic nanoseconds since
+// process start.
+func SystemClock() int64 { return int64(time.Since(processStart)) }
+
+// Registry names and owns one process's metrics. Metric handles are
+// registered on first use and live for the registry's lifetime;
+// reading or updating a handle is a single atomic operation, so the
+// instrumented hot paths never contend on the registry lock.
+//
+// Construct with New or NewWithClock. A nil *Registry disables
+// telemetry: Now returns 0, Snapshot returns nil, and the metric
+// accessors return nil (no-op) handles.
+type Registry struct {
+	clock Clock
+
+	mu     sync.RWMutex
+	byName map[string]any // guarded by mu: name → *Counter | *Gauge | *Histogram
+	names  []string       // guarded by mu: registered names, kept sorted
+
+	tracer atomic.Pointer[Tracer]
+}
+
+// New returns a registry on the production SystemClock.
+func New() *Registry { return NewWithClock(SystemClock) }
+
+// NewWithClock returns a registry reading timestamps from clock; tests
+// pass a fake to make measured durations deterministic.
+func NewWithClock(clock Clock) *Registry {
+	if clock == nil {
+		clock = SystemClock
+	}
+	return &Registry{clock: clock, byName: make(map[string]any)}
+}
+
+// Now reads the registry's clock: monotonic nanoseconds. On a nil
+// registry it returns 0 — callers always pair two readings, so the
+// zero is never observed as a duration.
+func (r *Registry) Now() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.clock()
+}
+
+// Counter returns the named monotonically increasing counter,
+// registering it on first use. Panics if the name is already
+// registered as a different kind.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return lookup(r, name, func() *Counter { return new(Counter) })
+}
+
+// Gauge returns the named last-value gauge, registering it on first
+// use. Panics if the name is already registered as a different kind.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return lookup(r, name, func() *Gauge { return new(Gauge) })
+}
+
+// Histogram returns the named duration/size histogram, registering it
+// on first use. Panics if the name is already registered as a
+// different kind.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return lookup(r, name, func() *Histogram { return new(Histogram) })
+}
+
+// lookup resolves name to its registered metric, creating it with mk
+// on first use. The fast path is a read-locked map hit; registration
+// takes the write lock and keeps names sorted so every snapshot-style
+// iteration is deterministic without ranging over the map.
+func lookup[T any](r *Registry, name string, mk func() *T) *T {
+	r.mu.RLock()
+	m, ok := r.byName[name]
+	r.mu.RUnlock()
+	if !ok {
+		r.mu.Lock()
+		if m, ok = r.byName[name]; !ok {
+			m = mk()
+			r.byName[name] = m
+			i := sort.SearchStrings(r.names, name)
+			r.names = append(r.names, "")
+			copy(r.names[i+1:], r.names[i:])
+			r.names[i] = name
+		}
+		r.mu.Unlock()
+	}
+	t, good := m.(*T)
+	if !good {
+		panic(fmt.Sprintf("obs: metric %q already registered as %T", name, m))
+	}
+	return t
+}
+
+// Snapshot is a point-in-time flattening of a registry: metric name to
+// uint64 (counter), float64 (gauge) or HistogramValue (histogram).
+type Snapshot map[string]any
+
+// Snapshot captures every registered metric. Values are read one
+// atomic load at a time, so a snapshot taken mid-update is internally
+// consistent per metric but not across metrics. Nil on a nil registry.
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s := make(Snapshot, len(r.names))
+	for _, name := range r.names {
+		s[name] = metricValue(r.byName[name])
+	}
+	return s
+}
+
+// metricValue reads one metric handle into its snapshot form.
+func metricValue(m any) any {
+	switch m := m.(type) {
+	case *Counter:
+		return m.Value()
+	case *Gauge:
+		return m.Value()
+	case *Histogram:
+		return m.Value()
+	}
+	return nil
+}
+
+// Counter is a monotonically increasing event count. The nil Counter
+// (from a nil registry) no-ops.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value reads the current count; 0 on a nil counter.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a last-writer-wins instantaneous value. The nil Gauge
+// (from a nil registry) no-ops.
+type Gauge struct{ v atomic.Uint64 }
+
+// Set records the current value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(math.Float64bits(v))
+}
+
+// Value reads the last value set; 0 on a nil gauge.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.v.Load())
+}
+
+// histBuckets is one bucket per power of two of the observed value
+// (bucket i holds values whose bit length is i), plus bucket 0 for
+// zero and negative observations. 65 covers the full uint64 range so
+// bucketOf never bounds-checks.
+const histBuckets = 65
+
+// Histogram accumulates observations (durations in nanoseconds, sizes
+// in bytes) into power-of-two buckets. Observe is two atomic adds —
+// no locks, no allocation — so it sits directly on the hot paths. The
+// nil Histogram (from a nil registry) no-ops.
+type Histogram struct {
+	sum     atomic.Int64
+	buckets [histBuckets]atomic.Uint64
+}
+
+// Observe records one value. Values <= 0 land in bucket 0.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	h.sum.Add(v)
+	h.buckets[bucketOf(v)].Add(1)
+}
+
+// bucketOf maps a value to its bucket: bit length for positive
+// values, 0 otherwise.
+func bucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(v))
+}
+
+// bucketUpper is the inclusive upper bound of bucket i.
+func bucketUpper(i int) uint64 {
+	switch {
+	case i <= 0:
+		return 0
+	case i >= 64:
+		return ^uint64(0)
+	}
+	return 1<<uint(i) - 1
+}
+
+// Bucket is one occupied histogram bucket: N observations with values
+// at most Le (and above the previous bucket's Le).
+type Bucket struct {
+	Le uint64 `json:"le"`
+	N  uint64 `json:"n"`
+}
+
+// HistogramValue is a histogram snapshot. Count is derived as the sum
+// of the bucket counts, so count == Σ buckets holds by construction
+// even when the snapshot races concurrent Observes; Sum and Mean are
+// read separately and may trail the buckets by in-flight observations.
+type HistogramValue struct {
+	Count   uint64   `json:"count"`
+	Sum     int64    `json:"sum"`
+	Mean    float64  `json:"mean"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Value snapshots the histogram; the zero HistogramValue on a nil
+// histogram.
+func (h *Histogram) Value() HistogramValue {
+	if h == nil {
+		return HistogramValue{}
+	}
+	var hv HistogramValue
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		hv.Count += n
+		hv.Buckets = append(hv.Buckets, Bucket{Le: bucketUpper(i), N: n})
+	}
+	hv.Sum = h.sum.Load()
+	if hv.Count > 0 {
+		hv.Mean = float64(hv.Sum) / float64(hv.Count)
+	}
+	return hv
+}

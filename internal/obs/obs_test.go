@@ -1,0 +1,286 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := New()
+	c := r.Counter("c")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("c") != c {
+		t.Fatal("second lookup returned a different handle")
+	}
+	g := r.Gauge("g")
+	g.Set(2.5)
+	g.Set(-1)
+	if got := g.Value(); got != -1 {
+		t.Fatalf("gauge = %v, want -1", got)
+	}
+}
+
+func TestNilRegistryAndHandles(t *testing.T) {
+	var r *Registry
+	if r.Now() != 0 {
+		t.Fatal("nil registry Now != 0")
+	}
+	if r.Snapshot() != nil {
+		t.Fatal("nil registry Snapshot != nil")
+	}
+	if r.Tracing() {
+		t.Fatal("nil registry Tracing")
+	}
+	r.Trace("e", nil)
+	r.TraceTo(nil)
+	// Nil handles must all no-op.
+	r.Counter("x").Inc()
+	r.Counter("x").Add(3)
+	r.Gauge("x").Set(1)
+	r.Histogram("x").Observe(1)
+	if r.Counter("x").Value() != 0 || r.Gauge("x").Value() != 0 {
+		t.Fatal("nil handle reads nonzero")
+	}
+	if v := r.Histogram("x").Value(); v.Count != 0 || v.Buckets != nil {
+		t.Fatal("nil histogram reads nonzero")
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on kind mismatch")
+		}
+	}()
+	r := New()
+	r.Counter("m")
+	r.Gauge("m")
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := New()
+	h := r.Histogram("h")
+	for _, v := range []int64{-3, 0, 1, 2, 3, 4, 1000} {
+		h.Observe(v)
+	}
+	hv := h.Value()
+	if hv.Count != 7 {
+		t.Fatalf("count = %d, want 7", hv.Count)
+	}
+	if hv.Sum != -3+1+2+3+4+1000 {
+		t.Fatalf("sum = %d", hv.Sum)
+	}
+	// Expected occupancy: bucket 0 (le 0) n=2, bucket 1 (le 1) n=1,
+	// bucket 2 (le 3) n=2, bucket 3 (le 7) n=1, bucket 10 (le 1023) n=1.
+	want := []Bucket{{0, 2}, {1, 1}, {3, 2}, {7, 1}, {1023, 1}}
+	if len(hv.Buckets) != len(want) {
+		t.Fatalf("buckets = %+v, want %+v", hv.Buckets, want)
+	}
+	for i, b := range hv.Buckets {
+		if b != want[i] {
+			t.Fatalf("bucket %d = %+v, want %+v", i, b, want[i])
+		}
+	}
+	var total uint64
+	for _, b := range hv.Buckets {
+		total += b.N
+	}
+	if total != hv.Count {
+		t.Fatalf("count %d != Σ buckets %d", hv.Count, total)
+	}
+}
+
+func TestFakeClock(t *testing.T) {
+	var tick int64
+	r := NewWithClock(func() int64 { tick += 10; return tick })
+	a := r.Now()
+	b := r.Now()
+	if b-a != 10 {
+		t.Fatalf("fake clock delta = %d, want 10", b-a)
+	}
+}
+
+func TestSnapshotSorted(t *testing.T) {
+	r := New()
+	r.Counter("zz")
+	r.Counter("aa").Add(7)
+	r.Gauge("mm").Set(3)
+	s := r.Snapshot()
+	if len(s) != 3 {
+		t.Fatalf("snapshot has %d metrics, want 3", len(s))
+	}
+	if s["aa"].(uint64) != 7 || s["mm"].(float64) != 3 {
+		t.Fatalf("snapshot values wrong: %v", s)
+	}
+}
+
+func TestTracerJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	var tick int64
+	tr := NewTracer(&buf, func() int64 { tick++; return tick })
+	tr.Emit("start", map[string]any{"gen": 1, "err": 0.5})
+	tr.Emit("done", nil)
+	if err := tr.Err(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2", len(lines))
+	}
+	var ev struct {
+		TS     int64          `json:"ts_ns"`
+		Event  string         `json:"event"`
+		Fields map[string]any `json:"fields"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &ev); err != nil {
+		t.Fatalf("line 0 not JSON: %v", err)
+	}
+	if ev.TS != 1 || ev.Event != "start" || ev.Fields["gen"].(float64) != 1 {
+		t.Fatalf("event = %+v", ev)
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &ev); err != nil {
+		t.Fatalf("line 1 not JSON: %v", err)
+	}
+}
+
+func TestTraceFile(t *testing.T) {
+	path := t.TempDir() + "/trace.jsonl"
+	tr, err := TraceFile(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New()
+	r.TraceTo(tr)
+	if !r.Tracing() {
+		t.Fatal("Tracing false with tracer attached")
+	}
+	r.Trace("ev", map[string]any{"k": "v"})
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"event":"ev"`) {
+		t.Fatalf("trace file = %q", b)
+	}
+	r.TraceTo(nil)
+	if r.Tracing() {
+		t.Fatal("Tracing true after detach")
+	}
+}
+
+// TestRegistryRace hammers one registry from concurrent writers and a
+// scraping reader under -race: counters, gauges, histograms and
+// first-use registration all interleave, and every scraped histogram
+// must satisfy count == Σ bucket counts.
+func TestRegistryRace(t *testing.T) {
+	r := New()
+	var stop atomic.Bool
+	var writers, scraper sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			h := r.Histogram("lat")
+			c := r.Counter("ops")
+			for i := 0; i < 2000; i++ {
+				h.Observe(int64(i % 257))
+				c.Inc()
+				r.Gauge("load").Set(float64(i))
+				if i%100 == 0 {
+					// Concurrent first-use registration.
+					r.Counter(fmt.Sprintf("w%d_%d", w, i)).Inc()
+				}
+			}
+		}(w)
+	}
+	scraper.Add(1)
+	go func() {
+		defer scraper.Done()
+		for !stop.Load() {
+			s := r.Snapshot()
+			hv, ok := s["lat"].(HistogramValue)
+			if !ok {
+				continue
+			}
+			var total uint64
+			for _, b := range hv.Buckets {
+				total += b.N
+			}
+			if total != hv.Count {
+				t.Errorf("scrape: count %d != Σ buckets %d", hv.Count, total)
+				return
+			}
+		}
+	}()
+	writers.Wait()
+	stop.Store(true)
+	scraper.Wait()
+	if got := r.Counter("ops").Value(); got != 4*2000 {
+		t.Fatalf("ops = %d, want %d", got, 4*2000)
+	}
+	hv := r.Histogram("lat").Value()
+	if hv.Count != 4*2000 {
+		t.Fatalf("lat count = %d, want %d", hv.Count, 4*2000)
+	}
+}
+
+func TestServeDebug(t *testing.T) {
+	r := New()
+	r.Counter("rpc_matchbatch_count").Add(42)
+	r.Histogram("engine_matchbatch_ns").Observe(1000)
+	ds, err := ServeDebug("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+
+	body := httpGet(t, "http://"+ds.Addr()+"/debug/vars")
+	var vars map[string]any
+	if err := json.Unmarshal(body, &vars); err != nil {
+		t.Fatalf("/debug/vars not JSON: %v\n%s", err, body)
+	}
+	if vars["rpc_matchbatch_count"].(float64) != 42 {
+		t.Fatalf("rpc_matchbatch_count = %v", vars["rpc_matchbatch_count"])
+	}
+	if _, ok := vars["engine_matchbatch_ns"].(map[string]any); !ok {
+		t.Fatalf("engine_matchbatch_ns missing: %v", vars["engine_matchbatch_ns"])
+	}
+	if _, ok := vars["memstats"]; !ok {
+		t.Fatal("expvar memstats missing from /debug/vars")
+	}
+	if !strings.Contains(string(httpGet(t, "http://"+ds.Addr()+"/debug/pprof/")), "profile") {
+		t.Fatal("/debug/pprof/ index did not render")
+	}
+}
+
+func httpGet(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s", url, resp.Status)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}

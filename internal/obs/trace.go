@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// Tracer appends span-style run events to a sink as JSON Lines: one
+// object per event, {"ts_ns": …, "event": …, "fields": {…}}. Event
+// payloads go under "fields", so event keys can never collide with the
+// envelope; json.Marshal emits map keys sorted, so a trace diff is
+// stable across runs of the same (fake-clocked) execution.
+//
+// Emit serializes writers under a mutex — tracing is for run-level
+// events (generations, fits, mutations), not per-row hot paths.
+type Tracer struct {
+	clock Clock
+
+	mu  sync.Mutex
+	w   io.Writer // guarded by mu
+	c   io.Closer // guarded by mu: non-nil only when the tracer owns the sink
+	err error     // guarded by mu: first write/encode error, sticky
+}
+
+// NewTracer traces onto w, timestamping with clock (SystemClock when
+// nil). The caller owns w; Close does not close it.
+func NewTracer(w io.Writer, clock Clock) *Tracer {
+	if clock == nil {
+		clock = SystemClock
+	}
+	return &Tracer{clock: clock, w: w}
+}
+
+// TraceFile traces into path (append, create), timestamping with
+// clock (SystemClock when nil). Close closes the file.
+func TraceFile(path string, clock Clock) (*Tracer, error) {
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("obs: trace file: %w", err)
+	}
+	t := NewTracer(f, clock)
+	t.c = f
+	return t, nil
+}
+
+// traceEvent is the JSONL envelope.
+type traceEvent struct {
+	TS     int64          `json:"ts_ns"`
+	Event  string         `json:"event"`
+	Fields map[string]any `json:"fields,omitempty"`
+}
+
+// Emit appends one event. Errors are sticky and reported by Err/Close;
+// after the first failure subsequent events are dropped.
+func (t *Tracer) Emit(event string, fields map[string]any) {
+	if t == nil {
+		return
+	}
+	ts := t.clock()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return
+	}
+	b, err := json.Marshal(traceEvent{TS: ts, Event: event, Fields: fields})
+	if err != nil {
+		t.err = fmt.Errorf("obs: trace encode: %w", err)
+		return
+	}
+	b = append(b, '\n')
+	if _, err := t.w.Write(b); err != nil {
+		t.err = fmt.Errorf("obs: trace write: %w", err)
+	}
+}
+
+// Err reports the first write or encode failure, if any.
+func (t *Tracer) Err() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+// Close releases a file-backed sink and returns the sticky error, if
+// any. Safe on a writer-backed tracer (the writer stays open).
+func (t *Tracer) Close() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.c != nil {
+		if err := t.c.Close(); err != nil && t.err == nil {
+			t.err = fmt.Errorf("obs: trace close: %w", err)
+		}
+		t.c = nil
+	}
+	return t.err
+}
+
+// TraceTo attaches a tracer to the registry; instrumented packages
+// emit through Registry.Trace. Detach with TraceTo(nil).
+func (r *Registry) TraceTo(t *Tracer) {
+	if r == nil {
+		return
+	}
+	r.tracer.Store(t)
+}
+
+// Tracing reports whether a tracer is attached; instrumented code
+// checks it before building an event's field map, so a trace-free run
+// pays one atomic load.
+func (r *Registry) Tracing() bool {
+	return r != nil && r.tracer.Load() != nil
+}
+
+// Trace emits one event through the attached tracer, if any.
+func (r *Registry) Trace(event string, fields map[string]any) {
+	if r == nil {
+		return
+	}
+	if t := r.tracer.Load(); t != nil {
+		t.Emit(event, fields)
+	}
+}

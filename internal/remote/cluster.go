@@ -75,7 +75,8 @@ type Cluster struct {
 	workers int
 	timeout time.Duration
 	cache   *engine.SharedCache
-	auto    bool // per-server rebalance after every mutation
+	auto    bool                // per-server rebalance after every mutation
+	tel     *rpcClientTelemetry // set by Instrument before the cluster is shared; nil = disabled
 
 	mu     sync.RWMutex
 	data   *series.Dataset // guarded by mu: merged view — all resident rows, insertion (ascending-RowID) order
@@ -226,7 +227,11 @@ func (c *Cluster) setFail(err error) {
 	if !errors.Is(err, ErrTransport) {
 		err = fmt.Errorf("%w: %v", ErrTransport, err)
 	}
-	c.fail.CompareAndSwap(nil, &err)
+	if c.fail.CompareAndSwap(nil, &err) && c.tel != nil {
+		// Count only the winning (sticky) failure, not the losers of
+		// the race: one dead cluster is one fault.
+		c.tel.faults.Inc()
+	}
 }
 
 // opCtx bounds RPCs issued without a caller context (the core.Store

@@ -50,6 +50,9 @@ type conn struct {
 	// its slice, which must fail loudly, never silently). It receives
 	// a round-tripper bound to the fresh connection.
 	onRedial func(rt func(req []byte) ([]byte, error)) error
+	// tel is shared across the cluster's conns, set by
+	// Cluster.Instrument before any RPC; nil = telemetry disabled.
+	tel *rpcClientTelemetry
 
 	mu        sync.Mutex
 	nc        net.Conn      // guarded by mu
@@ -58,14 +61,9 @@ type conn struct {
 	connected bool          // guarded by mu: ever connected — the next dial is a REdial
 }
 
-// roundTrip sends one request and reads its response, dialing (or
-// redialing) first when needed. Dial and IO deadlines derive from
-// ctx; on cancellation the in-flight IO is interrupted immediately
-// and the connection is discarded (the stream is mid-frame), to be
-// redialed by the next call. Transport errors come back wrapped in
-// ErrTransport; server-reported application errors come back as-is
-// and leave the connection healthy.
-func (c *conn) roundTrip(ctx context.Context, req []byte) ([]byte, error) {
+// roundTrip1 is the roundTrip implementation; the wrapper
+// (telemetry.go) adds the optional per-verb instrumentation.
+func (c *conn) roundTrip1(ctx context.Context, req []byte) ([]byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if err := c.connectLocked(ctx); err != nil {
@@ -108,6 +106,10 @@ func (c *conn) connectLocked(ctx context.Context) error {
 			c.closeLocked()
 			return err
 		}
+	}
+	if c.connected && c.tel != nil {
+		// Not the first connect: a poisoned connection came back.
+		c.tel.redials.Inc()
 	}
 	c.connected = true
 	return nil

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/series"
 )
 
@@ -27,9 +28,14 @@ import (
 // a read-only second client (Sync) must not race an Append either.
 type Server struct {
 	opt engine.Options
+	// tel is set by Instrument before Serve; nil = telemetry disabled.
+	// handle reads it without the mutex, which is why attaching after
+	// connections are live is not supported.
+	tel *rpcServerTelemetry
 
 	mu  sync.Mutex
 	eng *engine.Engine // guarded by mu: swapped wholesale by Reset
+	reg *obs.Registry  // guarded by mu: re-instruments the engine a Reset builds
 }
 
 // NewServer returns a server with no dataset yet: the first Reset RPC
@@ -130,12 +136,9 @@ func errFrame(format string, args ...any) []byte {
 	return append([]byte{opError}, fmt.Sprintf(format, args...)...)
 }
 
-// handle executes one request and returns the response frame, or nil
-// when the request's context was cancelled (client gone — nothing to
-// answer). The server mutex is held for the whole request, so match
-// queries from one connection never interleave with mutations from
-// another.
-func (s *Server) handle(ctx context.Context, payload []byte) []byte {
+// dispatch is the handle implementation; the exported-path wrapper
+// (telemetry.go) adds the optional per-verb instrumentation.
+func (s *Server) dispatch(ctx context.Context, payload []byte) []byte {
 	if len(payload) == 0 {
 		return errFrame("empty request")
 	}
@@ -173,6 +176,12 @@ func (s *Server) handle(ctx context.Context, payload []byte) []byte {
 		}
 		ds := &series.Dataset{Inputs: inputs, Targets: targets, IDs: ids, D: width, Horizon: horizon}
 		s.eng = engine.New(ds, s.opt)
+		if s.reg != nil {
+			// A Reset swaps the whole engine; the replacement inherits
+			// the server's instrumentation (same registry, so the
+			// engine metrics continue across reloads).
+			s.eng.Instrument(s.reg)
+		}
 		return appendU64([]byte{opReset}, s.eng.Epoch())
 	}
 

@@ -1,0 +1,188 @@
+// Command benchdiff compares a `go test -bench` run against the
+// recorded baseline in BENCH_engine.json and reports per-benchmark
+// deltas in ns/op, B/op and allocs/op.
+//
+//	go test -run=NONE -bench 'BenchmarkEngineBatch' -benchmem . | go run ./tools/benchdiff
+//	go test -run=NONE -bench . -benchmem . > out.txt && go run ./tools/benchdiff -input out.txt
+//
+// Benchmarks present in only one side are skipped (the baseline records
+// a curated subset; a -bench run may produce more). A delta beyond
+// -tolerance is flagged; by default benchdiff only warns (exit 0), so
+// CI can surface drift without turning a noisy shared runner into a
+// flaky gate — pass -fail to turn flagged regressions into exit 1 for
+// quiet dedicated hardware. Regenerate the baseline with the command
+// recorded in BENCH_engine.json's description field, then edit the
+// ns_per_op/bytes_per_op/allocs_per_op values in place.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// baseline mirrors the parts of BENCH_engine.json benchdiff needs;
+// annotation fields (unit_of_work, notes) are ignored.
+type baseline struct {
+	Description string                `json:"description"`
+	Benchmarks  map[string]*benchmark `json:"benchmarks"`
+}
+
+type benchmark struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// benchLine matches one `go test -bench` result line:
+//
+//	BenchmarkEngineBatch-8   38   57569475 ns/op   25616681 B/op   4905 allocs/op
+//
+// The -N GOMAXPROCS suffix is stripped, and the memory columns are
+// optional (absent without -benchmem).
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:.*?\s([\d.]+) B/op\s+([\d.]+) allocs/op)?`)
+
+// parseBench extracts benchmark results from -bench output. Repeated
+// runs of one benchmark (-count > 1) keep the best (lowest ns/op) —
+// the conventional noise floor for regression checks.
+func parseBench(r io.Reader) (map[string]*benchmark, error) {
+	out := make(map[string]*benchmark)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		b := &benchmark{}
+		b.NsPerOp, _ = strconv.ParseFloat(m[2], 64)
+		if m[3] != "" {
+			b.BytesPerOp, _ = strconv.ParseFloat(m[3], 64)
+			b.AllocsPerOp, _ = strconv.ParseFloat(m[4], 64)
+		} else {
+			b.BytesPerOp, b.AllocsPerOp = -1, -1 // no -benchmem columns
+		}
+		if prev, ok := out[m[1]]; !ok || b.NsPerOp < prev.NsPerOp {
+			out[m[1]] = b
+		}
+	}
+	return out, sc.Err()
+}
+
+// delta is the relative change from base to cur; 0 when base is 0.
+func delta(base, cur float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return (cur - base) / base
+}
+
+type row struct {
+	name            string
+	metric          string
+	base, cur, d    float64
+	beyondTolerance bool
+}
+
+// diff compares current results against the baseline, returning one
+// row per comparable metric and the count of flagged regressions.
+func diff(base, cur map[string]*benchmark, tolerance float64) (rows []row, flagged int) {
+	names := make([]string, 0, len(cur))
+	for name := range cur {
+		if _, ok := base[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		b, c := base[name], cur[name]
+		metrics := []struct {
+			metric    string
+			base, cur float64
+		}{
+			{"ns/op", b.NsPerOp, c.NsPerOp},
+			{"B/op", b.BytesPerOp, c.BytesPerOp},
+			{"allocs/op", b.AllocsPerOp, c.AllocsPerOp},
+		}
+		for _, m := range metrics {
+			if m.cur < 0 {
+				continue // run had no -benchmem columns
+			}
+			d := delta(m.base, m.cur)
+			over := d > tolerance
+			if over {
+				flagged++
+			}
+			rows = append(rows, row{name: name, metric: m.metric, base: m.base, cur: m.cur, d: d, beyondTolerance: over})
+		}
+	}
+	return rows, flagged
+}
+
+func run(baselinePath, inputPath string, tolerance float64, failOnRegress bool, in io.Reader, out io.Writer) (int, error) {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return 2, err
+	}
+	var base baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return 2, fmt.Errorf("parsing %s: %w", baselinePath, err)
+	}
+	src := in
+	if inputPath != "" {
+		f, err := os.Open(inputPath)
+		if err != nil {
+			return 2, err
+		}
+		defer f.Close()
+		src = f
+	}
+	cur, err := parseBench(src)
+	if err != nil {
+		return 2, err
+	}
+	if len(cur) == 0 {
+		return 2, fmt.Errorf("no benchmark result lines in input")
+	}
+
+	rows, flagged := diff(base.Benchmarks, cur, tolerance)
+	if len(rows) == 0 {
+		return 2, fmt.Errorf("no benchmarks in common between the run and %s", baselinePath)
+	}
+	fmt.Fprintf(out, "%-36s %-10s %14s %14s %8s\n", "benchmark", "metric", "baseline", "current", "delta")
+	for _, r := range rows {
+		mark := ""
+		if r.beyondTolerance {
+			mark = "  REGRESSION"
+		}
+		fmt.Fprintf(out, "%-36s %-10s %14.0f %14.0f %+7.1f%%%s\n", r.name, r.metric, r.base, r.cur, 100*r.d, mark)
+	}
+	if flagged > 0 {
+		fmt.Fprintf(out, "\n%d metric(s) regressed beyond %.0f%% of the baseline in %s\n", flagged, 100*tolerance, baselinePath)
+		if failOnRegress {
+			return 1, nil
+		}
+		fmt.Fprintln(out, "(warn-only mode: exiting 0; pass -fail to gate)")
+	}
+	return 0, nil
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_engine.json", "baseline JSON to diff against")
+	inputPath := flag.String("input", "", "file holding `go test -bench` output (default stdin)")
+	tolerance := flag.Float64("tolerance", 0.25, "flag regressions beyond this relative delta (0.25 = 25%)")
+	failOnRegress := flag.Bool("fail", false, "exit 1 on flagged regressions instead of warning")
+	flag.Parse()
+
+	code, err := run(*baselinePath, *inputPath, *tolerance, *failOnRegress, os.Stdin, os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	}
+	os.Exit(code)
+}

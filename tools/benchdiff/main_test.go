@@ -1,0 +1,123 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkEngineBatch-8             	      38	  57569475 ns/op	25616681 B/op	    4905 allocs/op
+BenchmarkEngineBatch-8             	      40	  59000000 ns/op	25616000 B/op	    4905 allocs/op
+BenchmarkShardsAppend              	     214	  10952701 ns/op	 1822115 B/op	     104 allocs/op
+BenchmarkRebalanceSkew-8           	      20	 198559959 ns/op	        1.53 max/min_live	24599496 B/op	    6159 allocs/op
+BenchmarkNoMem                     	     100	   1234567 ns/op
+PASS
+ok  	repro	5.409s
+`
+
+func TestParseBench(t *testing.T) {
+	got, err := parseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := got["BenchmarkEngineBatch"]
+	if b == nil {
+		t.Fatal("BenchmarkEngineBatch not parsed (GOMAXPROCS suffix must be stripped)")
+	}
+	if b.NsPerOp != 57569475 {
+		t.Fatalf("repeated runs must keep the best ns/op, got %v", b.NsPerOp)
+	}
+	if b.BytesPerOp != 25616681 || b.AllocsPerOp != 4905 {
+		t.Fatalf("memory columns parsed as %v B/op %v allocs/op", b.BytesPerOp, b.AllocsPerOp)
+	}
+	if got["BenchmarkShardsAppend"] == nil {
+		t.Fatal("suffix-free benchmark line not parsed")
+	}
+	// Custom ReportMetric columns between ns/op and B/op must not
+	// derail the memory columns.
+	if rb := got["BenchmarkRebalanceSkew"]; rb == nil || rb.BytesPerOp != 24599496 {
+		t.Fatalf("ReportMetric line parsed as %+v", got["BenchmarkRebalanceSkew"])
+	}
+	if nm := got["BenchmarkNoMem"]; nm == nil || nm.BytesPerOp != -1 {
+		t.Fatalf("missing -benchmem columns must parse as -1 sentinels, got %+v", got["BenchmarkNoMem"])
+	}
+}
+
+func TestDiffTolerance(t *testing.T) {
+	base := map[string]*benchmark{
+		"BenchmarkA": {NsPerOp: 100, BytesPerOp: 1000, AllocsPerOp: 10},
+		"BenchmarkB": {NsPerOp: 100, BytesPerOp: 1000, AllocsPerOp: 10},
+	}
+	cur := map[string]*benchmark{
+		"BenchmarkA":     {NsPerOp: 110, BytesPerOp: 1000, AllocsPerOp: 10}, // +10%: inside 25%
+		"BenchmarkB":     {NsPerOp: 200, BytesPerOp: 1000, AllocsPerOp: 20}, // ns and allocs doubled
+		"BenchmarkExtra": {NsPerOp: 1},                                      // not in baseline: skipped
+	}
+	rows, flagged := diff(base, cur, 0.25)
+	if flagged != 2 {
+		t.Fatalf("flagged = %d, want ns/op and allocs/op of B", flagged)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 3 metrics for each of 2 common benchmarks", len(rows))
+	}
+	for _, r := range rows {
+		over := r.name == "BenchmarkB" && (r.metric == "ns/op" || r.metric == "allocs/op")
+		if r.beyondTolerance != over {
+			t.Fatalf("row %+v: beyondTolerance = %v", r, r.beyondTolerance)
+		}
+	}
+	// Faster-than-baseline is never flagged: only regressions gate.
+	if _, flagged := diff(base, map[string]*benchmark{"BenchmarkA": {NsPerOp: 1, BytesPerOp: 1, AllocsPerOp: 1}}, 0.25); flagged != 0 {
+		t.Fatalf("improvement flagged as regression")
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	basePath := filepath.Join(dir, "base.json")
+	baseJSON := `{"description":"test","benchmarks":{
+		"BenchmarkEngineBatch":{"ns_per_op":57569475,"bytes_per_op":25616681,"allocs_per_op":4905}}}`
+	if err := os.WriteFile(basePath, []byte(baseJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out strings.Builder
+	code, err := run(basePath, "", 0.25, false, strings.NewReader(sampleOutput), &out)
+	if err != nil || code != 0 {
+		t.Fatalf("run: code %d, err %v\n%s", code, err, out.String())
+	}
+	if !strings.Contains(out.String(), "BenchmarkEngineBatch") {
+		t.Fatalf("report missing the common benchmark:\n%s", out.String())
+	}
+
+	// A doubled baseline makes the current run look 2x slower: warn-only
+	// still exits 0, -fail exits 1.
+	slowBase := strings.ReplaceAll(baseJSON, "57569475", "28000000")
+	if err := os.WriteFile(basePath, []byte(slowBase), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	code, err = run(basePath, "", 0.25, false, strings.NewReader(sampleOutput), &out)
+	if err != nil || code != 0 {
+		t.Fatalf("warn-only regressed run: code %d, err %v", code, err)
+	}
+	if !strings.Contains(out.String(), "REGRESSION") {
+		t.Fatalf("regression not reported:\n%s", out.String())
+	}
+	code, _ = run(basePath, "", 0.25, true, strings.NewReader(sampleOutput), &out)
+	if code != 1 {
+		t.Fatalf("-fail mode: code %d, want 1", code)
+	}
+
+	// The real repo baseline must parse and share benchmarks with real
+	// output shapes.
+	code, err = run(filepath.Join("..", "..", "BENCH_engine.json"), "", 0.25, false, strings.NewReader(sampleOutput), &out)
+	if err != nil || code != 0 {
+		t.Fatalf("repo baseline: code %d, err %v", code, err)
+	}
+}

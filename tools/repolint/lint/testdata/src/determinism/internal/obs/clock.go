@@ -1,0 +1,27 @@
+// Package obs is the clock-owner fixture: the telemetry package may
+// read the wall clock (it IS the module's Clock seam), but the other
+// determinism rules still hold inside it.
+package obs
+
+import (
+	"math/rand" // want "import of math/rand: all randomness must come from a seeded internal/rng.Source"
+	"time"
+)
+
+// Now is the allowed shape: only the clock owner reads the wall clock.
+func Now() int64 { return time.Now().UnixNano() }
+
+// Uptime may also use the clock family.
+func Uptime(start time.Time) time.Duration { return time.Since(start) }
+
+// Jitter still may not draw from the global RNG.
+func Jitter() int64 { return rand.Int63() }
+
+// Dump still may not range over a map.
+func Dump(m map[string]int64) int64 {
+	var n int64
+	for _, v := range m { // want "ranging over a map iterates in nondeterministic order"
+		n += v
+	}
+	return n
+}
