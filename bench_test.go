@@ -381,14 +381,29 @@ func BenchmarkEvaluateRuleParallel(b *testing.B) {
 
 // --- Evaluation engine (internal/engine) ---------------------------------
 
-// benchEngineRules prepares batches of signature-unique rules so every
-// evaluation misses the cache and performs real match+regression work.
-func benchEngineRules(b *testing.B, ds *series.Dataset, batch int) []*core.Rule {
-	b.Helper()
-	return uncachedRules(core.InitStratified(ds, 16), b.N*batch)
-}
-
 const engineBenchBatch = 128
+
+// benchEngineSetup is the shared fixture of the BenchmarkEngineBatch
+// family: the 10k-pattern dataset, an 8-shard engine (instrumented
+// with reg when non-nil), an evaluator wired to both, and b.N
+// generations of signature-unique rules. It runs one extra warm-up
+// generation before returning so the pooled match/regression scratch
+// is populated ahead of the timer — at CI's -benchtime=1x a cold pool
+// would otherwise be charged to the single measured op.
+func benchEngineSetup(b *testing.B, reg *obs.Registry) (*core.Evaluator, []*core.Rule) {
+	b.Helper()
+	ds := benchTrainDataset(b, 10000, 24)
+	eng := engine.New(ds, engine.Options{Shards: 8})
+	opt := core.EvalOptions{Backend: eng, Cache: eng.Cache()}
+	if reg != nil {
+		eng.Instrument(reg)
+		opt.Telemetry = reg
+	}
+	ev := core.NewEvaluatorOpt(ds, 0.2, 0, 1e-8, 0, opt)
+	rules := uncachedRules(core.InitStratified(ds, 16), (b.N+1)*engineBenchBatch)
+	ev.EvaluateAll(context.Background(), rules[b.N*engineBenchBatch:])
+	return ev, rules[:b.N*engineBenchBatch]
+}
 
 // BenchmarkEngineBatch measures batched offspring evaluation: one
 // EvaluateAll scheduling pass serves a whole generation of 128 rules
@@ -399,11 +414,7 @@ const engineBenchBatch = 128
 // BenchmarkEnginePerRule for the batching speedup and against
 // BenchmarkEvaluateRule (×128) for the sequential single-index path.
 func BenchmarkEngineBatch(b *testing.B) {
-	ds := benchTrainDataset(b, 10000, 24)
-	eng := engine.New(ds, engine.Options{Shards: 8})
-	ev := core.NewEvaluatorOpt(ds, 0.2, 0, 1e-8, 0,
-		core.EvalOptions{Backend: eng, Cache: eng.Cache()})
-	rules := benchEngineRules(b, ds, engineBenchBatch)
+	ev, rules := benchEngineSetup(b, nil)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ev.EvaluateAll(context.Background(), rules[i*engineBenchBatch:(i+1)*engineBenchBatch])
@@ -419,13 +430,7 @@ func BenchmarkEngineBatch(b *testing.B) {
 // delta must stay within run-to-run noise, since every hook is atomic
 // adds behind one nil check.
 func BenchmarkEngineBatchInstrumented(b *testing.B) {
-	ds := benchTrainDataset(b, 10000, 24)
-	eng := engine.New(ds, engine.Options{Shards: 8})
-	reg := obs.New()
-	eng.Instrument(reg)
-	ev := core.NewEvaluatorOpt(ds, 0.2, 0, 1e-8, 0,
-		core.EvalOptions{Backend: eng, Cache: eng.Cache(), Telemetry: reg})
-	rules := benchEngineRules(b, ds, engineBenchBatch)
+	ev, rules := benchEngineSetup(b, obs.New())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ev.EvaluateAll(context.Background(), rules[i*engineBenchBatch:(i+1)*engineBenchBatch])
@@ -436,11 +441,7 @@ func BenchmarkEngineBatchInstrumented(b *testing.B) {
 // the same engine one rule at a time — the pre-batching behaviour the
 // scheduling pass replaces.
 func BenchmarkEnginePerRule(b *testing.B) {
-	ds := benchTrainDataset(b, 10000, 24)
-	eng := engine.New(ds, engine.Options{Shards: 8})
-	ev := core.NewEvaluatorOpt(ds, 0.2, 0, 1e-8, 0,
-		core.EvalOptions{Backend: eng, Cache: eng.Cache()})
-	rules := benchEngineRules(b, ds, engineBenchBatch)
+	ev, rules := benchEngineSetup(b, nil)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, r := range rules[i*engineBenchBatch : (i+1)*engineBenchBatch] {

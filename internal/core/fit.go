@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/binary"
 	"math"
+	"sync"
 
 	"repro/internal/linalg"
 	"repro/internal/obs"
@@ -236,11 +237,33 @@ func (e *Evaluator) Evaluate(r *Rule) {
 	e.evalsComputed.Inc()
 }
 
+// fitScratch is the per-worker scratch one evaluation reuses across
+// rules: the xs/ys gather buffers and the linalg normal-equation
+// storage. Pooled so steady-state batch evaluation allocates only
+// what escapes into results (the fresh LinearFit per rule).
+type fitScratch struct {
+	xs [][]float64
+	ys []float64
+	nf linalg.FitScratch
+}
+
+var fitScratchPool = sync.Pool{New: func() any { return new(fitScratch) }}
+
 // evalFromMatches is the post-match half of an evaluation: given the
 // rule's matched training indices, fit the consequent and assign the
 // paper's fitness. Both the per-rule and the batched path end here,
 // which is what keeps them bit-identical.
 func (e *Evaluator) evalFromMatches(r *Rule, idx []int) {
+	fs := fitScratchPool.Get().(*fitScratch)
+	e.evalFromMatchesScratch(r, idx, fs)
+	fitScratchPool.Put(fs)
+}
+
+// evalFromMatchesScratch is evalFromMatches through caller-owned
+// scratch. Nothing scratch-backed escapes into the rule: the
+// LinearFit (and its Coef) assigned to r.Fit is freshly allocated by
+// the fit itself.
+func (e *Evaluator) evalFromMatchesScratch(r *Rule, idx []int, fs *fitScratch) {
 	r.Matches = len(idx)
 	if len(idx) == 0 {
 		// No evidence at all: no consequent, floor fitness. Prediction
@@ -252,8 +275,12 @@ func (e *Evaluator) evalFromMatches(r *Rule, idx []int) {
 		return
 	}
 
-	xs := make([][]float64, len(idx))
-	ys := make([]float64, len(idx))
+	if cap(fs.xs) < len(idx) {
+		fs.xs = make([][]float64, len(idx))
+		fs.ys = make([]float64, len(idx))
+	}
+	xs := fs.xs[:len(idx)]
+	ys := fs.ys[:len(idx)]
 	for k, i := range idx {
 		xs[k] = e.data.Inputs[i]
 		ys[k] = e.data.Targets[i]
@@ -269,7 +296,7 @@ func (e *Evaluator) evalFromMatches(r *Rule, idx []int) {
 		return
 	}
 
-	fit, err := linalg.FitAffine(xs, ys, e.ridge)
+	fit, err := linalg.FitAffineScratch(xs, ys, e.ridge, &fs.nf)
 	if err != nil {
 		// Pathological geometry even with ridge: fall back to the mean
 		// predictor so the rule still has defined behaviour.
@@ -281,13 +308,20 @@ func (e *Evaluator) evalFromMatches(r *Rule, idx []int) {
 		fit = &linalg.LinearFit{Coef: make([]float64, e.data.D), Intercept: mean}
 	}
 	r.Fit = fit
-	r.Error = fit.MaxAbsResidual(xs, ys)
-
-	// Representative prediction: mean regression output over matches.
-	sum := 0.0
-	for _, row := range xs {
-		sum += fit.Predict(row)
+	// One fused pass computes the paper's e_R (max absolute residual)
+	// and the representative prediction (mean regression output over
+	// matches) from the same per-row Predict value — identical
+	// operations to running MaxAbsResidual then a mean loop, without
+	// evaluating the fit twice per row.
+	maxAbs, sum := 0.0, 0.0
+	for k, row := range xs {
+		pred := fit.Predict(row)
+		if res := math.Abs(ys[k] - pred); res > maxAbs {
+			maxAbs = res
+		}
+		sum += pred
 	}
+	r.Error = maxAbs
 	r.Prediction = sum / float64(len(xs))
 
 	if r.Matches > 1 && r.Error < e.emax {
@@ -360,6 +394,11 @@ func (e *Evaluator) EvaluateBatch(ctx context.Context, rules []*Rule) error {
 		keys[i] = e.evalKey(r.Cond)
 	}
 	results := make(map[string]*EvalResult, len(rules))
+	// canonical marks the rule that computes its signature's result in
+	// place: evalFromMatches already wrote the exact evaluation into
+	// it, so the final apply pass (which clones the Fit) would be a
+	// no-op re-assignment and is skipped.
+	canonical := make([]bool, len(rules))
 	var work []*Rule
 	var workKeys []string
 	for i, r := range rules {
@@ -372,6 +411,7 @@ func (e *Evaluator) EvaluateBatch(ctx context.Context, rules []*Rule) error {
 			continue
 		}
 		results[k] = nil // claim the slot; filled below
+		canonical[i] = true
 		work = append(work, r)
 		workKeys = append(workKeys, k)
 	}
@@ -411,6 +451,9 @@ func (e *Evaluator) EvaluateBatch(ctx context.Context, rules []*Rule) error {
 	}
 	e.evalsCached.Add(uint64(len(rules) - len(work)))
 	for i, r := range rules {
+		if canonical[i] {
+			continue // already holds its freshly computed evaluation
+		}
 		results[keys[i]].apply(r)
 	}
 	return nil

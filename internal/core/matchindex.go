@@ -28,8 +28,9 @@ import (
 // and drives it through the exported GeneRange/CollectWithin pair.
 type MatchIndex struct {
 	data *series.Dataset
-	vals [][]float64 // vals[j][k]: k-th smallest value of lag j
-	perm [][]int32   // perm[j][k]: pattern index holding vals[j][k]
+	cols *series.Columns // column-major snapshot; verification scans these
+	vals [][]float64     // vals[j][k]: k-th smallest value of lag j
+	perm [][]int32       // perm[j][k]: pattern index holding vals[j][k]
 
 	// degenerate is set when the data contains NaN: NaN has no total
 	// order, so the sorted-run invariant the binary searches rely on
@@ -39,22 +40,25 @@ type MatchIndex struct {
 }
 
 // NewMatchIndex builds the per-dimension sorted indexes over the
-// dataset. Cost is O(D·n·log n) once, amortized over the many
-// thousands of rule evaluations of an evolutionary run.
+// dataset, plus the columnar (SoA) view candidate verification scans.
+// Cost is O(D·n·log n) once, amortized over the many thousands of rule
+// evaluations of an evolutionary run.
 func NewMatchIndex(data *series.Dataset) *MatchIndex {
 	n, d := data.Len(), data.D
 	ix := &MatchIndex{
 		data: data,
+		cols: data.BuildColumns(),
 		vals: make([][]float64, d),
 		perm: make([][]int32, d),
 	}
 	for j := 0; j < d; j++ {
+		col := ix.cols.F64[j]
 		p := make([]int32, n)
 		for i := range p {
 			p[i] = int32(i)
 		}
 		sort.Slice(p, func(a, b int) bool {
-			va, vb := data.Inputs[p[a]][j], data.Inputs[p[b]][j]
+			va, vb := col[p[a]], col[p[b]]
 			if va != vb {
 				return va < vb
 			}
@@ -62,7 +66,7 @@ func NewMatchIndex(data *series.Dataset) *MatchIndex {
 		})
 		v := make([]float64, n)
 		for k, i := range p {
-			v[k] = data.Inputs[i][j]
+			v[k] = col[i]
 			if math.IsNaN(v[k]) {
 				ix.degenerate = true
 			}
@@ -104,8 +108,8 @@ func (ix *MatchIndex) GeneRange(j int, iv Interval) (lo, hi int, ok bool) {
 		return 0, 0, false
 	}
 	vals := ix.vals[j]
-	lo = sort.SearchFloat64s(vals, iv.Lo)
-	hi = sort.Search(len(vals), func(k int) bool { return vals[k] > iv.Hi })
+	lo = searchGE(vals, iv.Lo)
+	hi = searchGT(vals, iv.Hi)
 	if hi < lo {
 		// Inverted gene (Lo > Hi, e.g. loaded from JSON without
 		// normalization): Contains is false everywhere, matching
@@ -115,28 +119,180 @@ func (ix *MatchIndex) GeneRange(j int, iv Interval) (lo, hi int, ok bool) {
 	return lo, hi, true
 }
 
+// MatchScratch is the reusable per-worker scratch of the columnar
+// verification pass: a candidate buffer the prefilter compacts in
+// place and a bitmap used to restore ascending index order. The
+// zero value is ready to use; buffers grow on demand and are retained
+// across calls. A MatchScratch must not be used concurrently.
+//
+// The bitmap carries an invariant: it is all-zero between calls
+// (every sweep clears the words it set), so reusing it never requires
+// an O(n/64) clear.
+type MatchScratch struct {
+	cand  []int32
+	words []uint64
+}
+
+// matchScratchPool recycles scratch across the per-rule entry points
+// (CollectWithin, Lookup); the sharded engine holds one MatchScratch
+// per shard walk instead, via GetMatchScratch/PutMatchScratch.
+var matchScratchPool = sync.Pool{New: func() any { return new(MatchScratch) }}
+
+// GetMatchScratch returns a pooled MatchScratch ready for use.
+func GetMatchScratch() *MatchScratch { return matchScratchPool.Get().(*MatchScratch) }
+
+// PutMatchScratch returns scratch to the pool. The caller must not
+// retain any slice derived from it.
+func PutMatchScratch(sc *MatchScratch) { matchScratchPool.Put(sc) }
+
+// filterCandidates narrows the candidate run perm[j][lo:hi] to the
+// patterns matching the full rule, compacting in place inside
+// sc.cand. Two passes over contiguous per-lag columns:
+//
+//  1. quantized prefilter — compare float32 shadow values against the
+//     float32-widened gene bounds. The conversion is monotone, so
+//     this pass can only keep false positives, never drop a true
+//     match (see series.Columns).
+//  2. exact float64 verification of the survivors, the final arbiter.
+//
+// Both passes use Rule.Match's reject-iff (v < Lo || v > Hi) form per
+// gene, so NaN values and NaN bounds behave exactly as in the scan
+// path, and gene j is skipped — the sorted-run construction already
+// satisfied it exactly.
+func (ix *MatchIndex) filterCandidates(j, lo, hi int, r *Rule, sc *MatchScratch) []int32 {
+	if cap(sc.cand) < hi-lo {
+		sc.cand = make([]int32, 0, hi-lo)
+	}
+	cand := append(sc.cand[:0], ix.perm[j][lo:hi]...)
+	for k, iv := range r.Cond {
+		if iv.Wildcard || k == j || len(cand) == 0 {
+			continue
+		}
+		fLo, fHi := float32(iv.Lo), float32(iv.Hi)
+		col := ix.cols.F32[k]
+		w := cand[:0]
+		for _, pi := range cand {
+			if v := col[pi]; v < fLo || v > fHi {
+				continue
+			}
+			w = append(w, pi)
+		}
+		cand = w
+	}
+	for k, iv := range r.Cond {
+		if iv.Wildcard || k == j || len(cand) == 0 {
+			continue
+		}
+		col := ix.cols.F64[k]
+		w := cand[:0]
+		for _, pi := range cand {
+			if v := col[pi]; v < iv.Lo || v > iv.Hi {
+				continue
+			}
+			w = append(w, pi)
+		}
+		cand = w
+	}
+	sc.cand = cand
+	return cand
+}
+
+// appendOrdered appends the survivor set to dst in ascending index
+// order: set the survivors in the scratch bitmap, sweep the touched
+// word range, and clear each word as it is swept (restoring the
+// scratch's all-zero invariant). O(k + touched-words).
+func appendOrdered(dst []int, cand []int32, n int, sc *MatchScratch) []int {
+	need := (n + 63) >> 6
+	if cap(sc.words) < need {
+		sc.words = make([]uint64, need)
+	}
+	words := sc.words[:need]
+	wmin, wmax := need, -1
+	for _, pi := range cand {
+		w := int(pi) >> 6
+		words[w] |= 1 << (uint(pi) & 63)
+		if w < wmin {
+			wmin = w
+		}
+		if w > wmax {
+			wmax = w
+		}
+	}
+	for w := wmin; w <= wmax; w++ {
+		word := words[w]
+		if word == 0 {
+			continue
+		}
+		words[w] = 0
+		base := w << 6
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			dst = append(dst, base+b)
+			word &^= 1 << b
+		}
+	}
+	return dst
+}
+
+// searchGE returns the first k with vals[k] >= x — the same answer as
+// sort.SearchFloat64s, as a direct loop: GeneRange runs once per gene
+// per shard per rule in the batch scheduling pass, where the
+// closure-calling generic search is measurable.
+func searchGE(vals []float64, x float64) int {
+	lo, hi := 0, len(vals)
+	for lo < hi {
+		m := int(uint(lo+hi) >> 1)
+		if vals[m] < x {
+			lo = m + 1
+		} else {
+			hi = m
+		}
+	}
+	return lo
+}
+
+// searchGT returns the first k with vals[k] > x.
+func searchGT(vals []float64, x float64) int {
+	lo, hi := 0, len(vals)
+	for lo < hi {
+		m := int(uint(lo+hi) >> 1)
+		if vals[m] <= x {
+			lo = m + 1
+		} else {
+			hi = m
+		}
+	}
+	return lo
+}
+
 // CollectWithin verifies the candidates perm[j][lo:hi] against the
 // full rule and returns the matching pattern indices in ascending
 // order (nil when none match). Candidates arrive in value order, but
 // callers (and the naive scan this must stay interchangeable with)
-// expect ascending index order: hits are collected in a bitmap whose
-// word sweep restores that order in O(k + n/64) — far cheaper than
-// sorting. Exported for the sharded engine, which walks one shard
-// index per rule group with a precomputed range.
+// expect ascending index order; the bitmap sweep restores it in
+// O(k + n/64) — far cheaper than sorting. Exported for the sharded
+// engine, which walks one shard index per rule group with a
+// precomputed range.
 func (ix *MatchIndex) CollectWithin(j, lo, hi int, r *Rule) []int {
-	n := len(ix.data.Targets)
-	words := make([]uint64, (n+63)>>6)
-	hits := 0
-	for _, pi := range ix.perm[j][lo:hi] {
-		if r.Match(ix.data.Inputs[pi]) {
-			words[pi>>6] |= 1 << (uint(pi) & 63)
-			hits++
-		}
+	sc := GetMatchScratch()
+	cand := ix.filterCandidates(j, lo, hi, r, sc)
+	var out []int
+	if len(cand) > 0 {
+		out = appendOrdered(make([]int, 0, len(cand)), cand, len(ix.data.Targets), sc)
 	}
-	if hits == 0 {
-		return nil
+	PutMatchScratch(sc)
+	return out
+}
+
+// CollectWithinInto is CollectWithin appending into dst using
+// caller-owned scratch — the zero-allocation form the sharded
+// engine's batch walk drives with its per-shard arena.
+func (ix *MatchIndex) CollectWithinInto(dst []int, j, lo, hi int, r *Rule, sc *MatchScratch) []int {
+	cand := ix.filterCandidates(j, lo, hi, r, sc)
+	if len(cand) == 0 {
+		return dst
 	}
-	return AppendSetBits(make([]int, 0, hits), words)
+	return appendOrdered(dst, cand, len(ix.data.Targets), sc)
 }
 
 // AppendSetBits appends the position of every set bit in words to out
@@ -145,13 +301,48 @@ func (ix *MatchIndex) CollectWithin(j, lo, hi int, r *Rule) []int {
 // for k set bits over an n-bit bitmap.
 func AppendSetBits(out []int, words []uint64) []int {
 	for w, word := range words {
-		for word != 0 {
-			b := bits.TrailingZeros64(word)
-			out = append(out, w<<6+b)
-			word &^= 1 << b
-		}
+		out = AppendWordBits(out, w, word)
 	}
 	return out
+}
+
+// AppendWordBits appends the positions of word's set bits, offset by
+// w<<6, to out in ascending order — the single-word step of
+// AppendSetBits, exported for the sharded engine's pooled
+// sweep-and-clear merge.
+func AppendWordBits(out []int, w int, word uint64) []int {
+	base := w << 6
+	for word != 0 {
+		b := bits.TrailingZeros64(word)
+		out = append(out, base+b)
+		word &^= 1 << b
+	}
+	return out
+}
+
+// bestGene finds the rule's most selective non-wildcard gene and its
+// candidate run. ok=false means some gene is unanswerable (degenerate
+// data or NaN bounds) and the caller must scan. dim == -1 with ok
+// means the rule is all-wildcard.
+func (ix *MatchIndex) bestGene(r *Rule) (dim, lo, hi int, ok bool) {
+	if ix.degenerate {
+		return 0, 0, 0, false
+	}
+	bestCount := len(ix.data.Targets) + 1
+	dim = -1
+	for j, iv := range r.Cond {
+		if iv.Wildcard {
+			continue
+		}
+		jlo, jhi, rangeOK := ix.GeneRange(j, iv)
+		if !rangeOK {
+			return 0, 0, 0, false
+		}
+		if c := jhi - jlo; c < bestCount {
+			dim, lo, hi, bestCount = j, jlo, jhi, c
+		}
+	}
+	return dim, lo, hi, true
 }
 
 // Lookup returns the rule's matched pattern indices in ascending
@@ -160,24 +351,11 @@ func AppendSetBits(out []int, words []uint64) []int {
 // caller should fall back to scanning. Both paths return identical
 // results, so the choice never affects outcomes.
 func (ix *MatchIndex) Lookup(r *Rule) (out []int, ok bool) {
-	if ix.degenerate {
+	bestDim, bestLo, bestHi, ok := ix.bestGene(r)
+	if !ok {
 		return nil, false
 	}
 	n := len(ix.data.Targets)
-	bestDim, bestLo, bestHi := -1, 0, 0
-	bestCount := n + 1
-	for j, iv := range r.Cond {
-		if iv.Wildcard {
-			continue
-		}
-		lo, hi, rangeOK := ix.GeneRange(j, iv)
-		if !rangeOK {
-			return nil, false
-		}
-		if c := hi - lo; c < bestCount {
-			bestDim, bestLo, bestHi, bestCount = j, lo, hi, c
-		}
-	}
 	if bestDim == -1 {
 		// All-wildcard rule: every pattern matches.
 		out = make([]int, n)
@@ -186,17 +364,42 @@ func (ix *MatchIndex) Lookup(r *Rule) (out []int, ok bool) {
 		}
 		return out, true
 	}
-	if bestCount == 0 {
+	if bestHi == bestLo {
 		return nil, true
 	}
 	// When even the most selective gene admits over half the dataset,
 	// candidate verification plus the final sort costs about as much
 	// as the straight scan, which also visits indices in order for
 	// free — let the caller scan.
-	if bestCount*2 > n {
+	if (bestHi-bestLo)*2 > n {
 		return nil, false
 	}
 	return ix.CollectWithin(bestDim, bestLo, bestHi, r), true
+}
+
+// LookupInto is Lookup appending into dst using caller-owned scratch.
+// ok has Lookup's meaning; on the fallback answer (ok=false) dst is
+// returned unchanged. Used by the sharded engine's batch walk so even
+// a shard's per-rule fallback lands in its arena.
+func (ix *MatchIndex) LookupInto(dst []int, r *Rule, sc *MatchScratch) (out []int, ok bool) {
+	bestDim, bestLo, bestHi, ok := ix.bestGene(r)
+	if !ok {
+		return dst, false
+	}
+	n := len(ix.data.Targets)
+	if bestDim == -1 {
+		for i := 0; i < n; i++ {
+			dst = append(dst, i)
+		}
+		return dst, true
+	}
+	if bestHi == bestLo {
+		return dst, true
+	}
+	if (bestHi-bestLo)*2 > n {
+		return dst, false
+	}
+	return ix.CollectWithinInto(dst, bestDim, bestLo, bestHi, r, sc), true
 }
 
 // --- offspring-side evaluation cache -----------------------------------

@@ -11,3 +11,36 @@ func datasetFromValues(v []float64, d, horizon int) *series.Dataset {
 	}
 	return ds
 }
+
+// intSlicesIdentical reports exact extensional equality: same length,
+// same elements in the same order, and agreement on nil-vs-non-nil
+// for the empty case (the match contract returns nil for "none").
+func intSlicesIdentical(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	if len(a) == 0 {
+		return (a == nil) == (b == nil)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// intSlicesEqual is intSlicesIdentical without the nil check — for
+// append-into variants, where an empty result legitimately aliases the
+// caller's (possibly non-nil) destination.
+func intSlicesEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

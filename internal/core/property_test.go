@@ -265,3 +265,131 @@ func TestPropertyEvaluateConsistency(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// Property: the columnar match kernel with the float32 prefilter is
+// extensionally equal to the naive scan under the degenerate inputs
+// the prefilter must not mishandle — NaN pattern values (which
+// disable the index entirely), NaN gene bounds (unconstraining, and
+// unusable for range selection), and magnitudes at the edges of
+// float32 (overflow to ±Inf, underflow to 0 in the shadow column).
+// Identity is exact: same indices, same order, nil for empty.
+func TestPropertyColumnarNaNEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		src := rng.New(seed)
+		n := 10 + src.Intn(150)
+		withNaN := src.Bool(0.5)
+		v := make([]float64, n)
+		for i := range v {
+			switch {
+			case withNaN && src.Bool(0.1):
+				v[i] = math.NaN()
+			case src.Bool(0.1):
+				v[i] = src.Uniform(-2, 2) * 1e308 // ±Inf in float32
+			case src.Bool(0.1):
+				v[i] = src.Uniform(-2, 2) * 1e-310 // 0 in float32
+			default:
+				v[i] = src.Uniform(-2, 2)
+			}
+		}
+		d := 1 + src.Intn(5)
+		ds := datasetFromValues(v, d, 1)
+		if ds == nil {
+			return true
+		}
+		ix := NewMatchIndex(ds)
+		ev := NewEvaluator(ds, 0.8, -5, 1e-8, 1)
+		sc := GetMatchScratch()
+		defer PutMatchScratch(sc)
+		var reuse []int
+		for trial := 0; trial < 12; trial++ {
+			cond := make([]Interval, d)
+			for j := range cond {
+				switch {
+				case src.Bool(0.2):
+					cond[j] = Wild()
+				case src.Bool(0.1):
+					cond[j] = Interval{Lo: math.NaN(), Hi: src.Uniform(-2, 2)}
+				case src.Bool(0.1):
+					cond[j] = Interval{Lo: src.Uniform(-2, 2), Hi: math.NaN()}
+				case src.Bool(0.1):
+					// Bounds beyond float32 range: widening must keep
+					// every candidate (the prefilter may only discard
+					// what the exact pass would).
+					cond[j] = NewInterval(src.Uniform(-2, 2)*1e308, src.Uniform(-2, 2)*1e308)
+				default:
+					cond[j] = NewInterval(src.Uniform(-2.5, 2.5), src.Uniform(-2.5, 2.5))
+				}
+			}
+			r := NewRule(cond)
+			naive := ev.MatchIndicesScan(r)
+			indexed := ev.MatchIndices(r)
+			if !intSlicesIdentical(indexed, naive) {
+				return false
+			}
+			// The scratch variants must agree while reusing dirty
+			// buffers across rules (sc and reuse carry state between
+			// trials on purpose). Into appends to caller storage, so
+			// only values are compared, not nil-ness.
+			if got, ok := ix.LookupInto(reuse[:0], r, sc); ok {
+				if !intSlicesEqual(got, naive) {
+					return false
+				}
+				reuse = got
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: CollectWithinInto over a dirty pooled scratch reproduces
+// CollectWithin exactly for every gene of a rule on clean data (the
+// per-gene path the shard walk drives).
+func TestPropertyCollectWithinScratchEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		src := rng.New(seed)
+		n := 20 + src.Intn(100)
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = src.Uniform(-2, 2)
+		}
+		d := 2 + src.Intn(4)
+		ds := datasetFromValues(v, d, 1)
+		if ds == nil {
+			return true
+		}
+		ix := NewMatchIndex(ds)
+		sc := GetMatchScratch()
+		defer PutMatchScratch(sc)
+		var reuse []int
+		for trial := 0; trial < 10; trial++ {
+			cond := make([]Interval, d)
+			for j := range cond {
+				if src.Bool(0.25) {
+					cond[j] = Wild()
+				} else {
+					cond[j] = NewInterval(src.Uniform(-2.5, 2.5), src.Uniform(-2.5, 2.5))
+				}
+			}
+			r := NewRule(cond)
+			for j := 0; j < d; j++ {
+				lo, hi, ok := ix.GeneRange(j, r.Cond[j])
+				if !ok {
+					continue
+				}
+				want := ix.CollectWithin(j, lo, hi, r)
+				got := ix.CollectWithinInto(reuse[:0], j, lo, hi, r, sc)
+				if !intSlicesEqual(got, want) {
+					return false
+				}
+				reuse = got
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -53,6 +53,12 @@ func randomRules(ds *series.Dataset, n int, seed int64) []*core.Rule {
 				cond[j] = core.Interval{Lo: hi, Hi: lo}
 			case 4:
 				cond[j] = core.Interval{Lo: math.NaN(), Hi: hi}
+			case 5:
+				cond[j] = core.Interval{Lo: lo, Hi: math.NaN()}
+			case 6:
+				// Both bounds NaN: fully unconstraining, but unlike
+				// Wild() it reaches the verification loop.
+				cond[j] = core.Interval{Lo: math.NaN(), Hi: math.NaN()}
 			default:
 				a := src.Uniform(lo-0.2*span, hi+0.2*span)
 				b := a + src.Uniform(0, 0.8*span)

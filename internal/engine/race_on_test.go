@@ -1,0 +1,8 @@
+//go:build race
+
+package engine
+
+// raceEnabled reports whether the race detector is active. Under race
+// instrumentation sync.Pool deliberately drops a fraction of Put calls,
+// so exact allocation-count assertions over pooled paths are skipped.
+const raceEnabled = true

@@ -119,16 +119,28 @@ func (sh *shard) filterLive(out []int) []int {
 	if sh.deadN == 0 || len(out) == 0 {
 		return out
 	}
-	w := out[:0]
-	for _, li := range out {
-		if !sh.isDead(li) {
-			w = append(w, li)
-		}
-	}
-	if len(w) == 0 {
+	out = sh.filterLiveFrom(out, 0)
+	if len(out) == 0 {
 		return nil
 	}
-	return w
+	return out
+}
+
+// filterLiveFrom is filterLive over the tail segment dst[start:] —
+// the arena form: earlier rules' results in dst[:start] are left
+// untouched and the compacted slice is returned truncated.
+func (sh *shard) filterLiveFrom(dst []int, start int) []int {
+	if sh.deadN == 0 || len(dst) == start {
+		return dst
+	}
+	w := start
+	for _, li := range dst[start:] {
+		if !sh.isDead(li) {
+			dst[w] = li
+			w++
+		}
+	}
+	return dst[:w]
 }
 
 // NewShards partitions the dataset into p shards (p<=0 → GOMAXPROCS,
@@ -423,17 +435,32 @@ func (sh *shard) match(r *core.Rule) []int {
 // scan is the shard-local reference path (the shards already provide
 // the parallelism, so it stays serial). Tombstoned rows are skipped.
 func (sh *shard) scan(r *core.Rule) []int {
+	return sh.scanInto(nil, r)
+}
+
+// scanInto is scan appending into the per-shard arena.
+func (sh *shard) scanInto(dst []int, r *core.Rule) []int {
 	sh.cost.Add(int64(sh.data.Len()) + 1)
-	var out []int
 	for i, row := range sh.data.Inputs {
 		if sh.isDead(i) {
 			continue
 		}
 		if r.Match(row) {
-			out = append(out, i)
+			dst = append(dst, i)
 		}
 	}
-	return out
+	return dst
+}
+
+// matchInto is match appending into the per-shard arena, with the
+// index's candidate scratch caller-owned.
+func (sh *shard) matchInto(dst []int, r *core.Rule, sc *core.MatchScratch) []int {
+	start := len(dst)
+	if out, ok := sh.idx.LookupInto(dst, r, sc); ok {
+		sh.cost.Add(int64(len(out)-start) + 1)
+		return sh.filterLiveFrom(out, start)
+	}
+	return sh.scanInto(dst, r)
 }
 
 // mergeMatchesLocked unions per-shard local matches into one ascending global

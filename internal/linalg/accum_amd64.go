@@ -1,0 +1,15 @@
+//go:build amd64
+
+package linalg
+
+// accumRow adds one observation row's contribution to the upper
+// triangle of the normal equations (see accum_generic.go for the
+// reference implementation and the exact contract). The amd64 version
+// runs the per-gene daxpy two lanes at a time with SSE2 MULPD/ADDPD —
+// packed single-rounding multiplies and adds, never FMA — so every
+// accumulator cell receives exactly the operations of the scalar
+// loop, in the same order. SSE2 is in the amd64 baseline, so no
+// feature detection is needed.
+//
+//go:noescape
+func accumRow(xtx, xty, row []float64, yi float64, p int)

@@ -1,0 +1,49 @@
+package series
+
+// Columns is the column-major (SoA) view of a dataset's input
+// patterns: one contiguous slice per lag, so a match kernel verifying
+// one gene against many candidate patterns walks a single flat array
+// instead of dereferencing a row header per pattern.
+//
+// F32 is the quantized prefilter shadow: the same values rounded to
+// float32. float64→float32 conversion (round-to-nearest) is monotone
+// non-decreasing, so for a gene [Lo,Hi] widened the same way a
+// candidate rejected by the float32 comparison is guaranteed to fail
+// the exact float64 comparison too — the prefilter can only produce
+// false positives, never false negatives, and an exact verification
+// pass over the survivors makes the combination bit-identical to
+// checking float64 alone. NaN converts to NaN and keeps its
+// all-comparisons-false behaviour in both widths.
+//
+// A Columns is a snapshot: it copies the values at build time and does
+// not track later mutations of the dataset. The lifecycle-managed
+// store rebuilds the owning MatchIndex (and with it the columns) on
+// every data mutation, which is what keeps the view consistent.
+type Columns struct {
+	F64 [][]float64 // F64[j][i] == Inputs[i][j]
+	F32 [][]float32 // float32(Inputs[i][j])
+}
+
+// BuildColumns transposes the dataset's inputs into a fresh Columns
+// view. Each width's columns share one flat backing allocation,
+// three-index-sliced so no column can grow into its neighbour.
+func (ds *Dataset) BuildColumns() *Columns {
+	n, d := ds.Len(), ds.D
+	c := &Columns{
+		F64: make([][]float64, d),
+		F32: make([][]float32, d),
+	}
+	f64 := make([]float64, n*d)
+	f32 := make([]float32, n*d)
+	for j := 0; j < d; j++ {
+		c.F64[j] = f64[j*n : (j+1)*n : (j+1)*n]
+		c.F32[j] = f32[j*n : (j+1)*n : (j+1)*n]
+	}
+	for i, row := range ds.Inputs {
+		for j, v := range row {
+			c.F64[j][i] = v
+			c.F32[j][i] = float32(v)
+		}
+	}
+	return c
+}

@@ -6,11 +6,22 @@
 //	go test -run=NONE -bench . -benchmem . > out.txt && go run ./tools/benchdiff -input out.txt
 //
 // Benchmarks present in only one side are skipped (the baseline records
-// a curated subset; a -bench run may produce more). A delta beyond
-// -tolerance is flagged; by default benchdiff only warns (exit 0), so
-// CI can surface drift without turning a noisy shared runner into a
-// flaky gate — pass -fail to turn flagged regressions into exit 1 for
-// quiet dedicated hardware. Regenerate the baseline with the command
+// a curated subset; a -bench run may produce more). Every baseline
+// entry carries the core count it was recorded under; an entry whose
+// count differs from the current run's (the -N GOMAXPROCS suffix on
+// the result line, absent = 1) is refused rather than compared —
+// timings recorded under different parallelism are not the same
+// experiment. If no common entry survives the core check, benchdiff
+// exits 2.
+//
+// Timing and byte deltas beyond -tolerance are flagged; by default
+// benchdiff only warns (exit 0), so CI can surface drift without
+// turning a noisy shared runner into a flaky gate — pass -fail to turn
+// flagged regressions into exit 1 for quiet dedicated hardware.
+// Allocation counts are deterministic where timings are not, so they
+// get a separate, tighter -tolerance-allocs, and -fail-allocs REGEXP
+// gates (exit 1) alloc regressions on matching benchmarks even in
+// warn-only timing mode. Regenerate the baseline with the command
 // recorded in BENCH_engine.json's description field, then edit the
 // ns_per_op/bytes_per_op/allocs_per_op values in place.
 package main
@@ -28,9 +39,11 @@ import (
 )
 
 // baseline mirrors the parts of BENCH_engine.json benchdiff needs;
-// annotation fields (unit_of_work, notes) are ignored.
+// annotation fields (unit_of_work, notes) are ignored. The top-level
+// cores value is the default for entries that do not carry their own.
 type baseline struct {
 	Description string                `json:"description"`
+	Cores       int                   `json:"cores"`
 	Benchmarks  map[string]*benchmark `json:"benchmarks"`
 }
 
@@ -38,15 +51,17 @@ type benchmark struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  float64 `json:"bytes_per_op"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
+	Cores       int     `json:"cores"`
 }
 
 // benchLine matches one `go test -bench` result line:
 //
 //	BenchmarkEngineBatch-8   38   57569475 ns/op   25616681 B/op   4905 allocs/op
 //
-// The -N GOMAXPROCS suffix is stripped, and the memory columns are
-// optional (absent without -benchmem).
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:.*?\s([\d.]+) B/op\s+([\d.]+) allocs/op)?`)
+// The -N GOMAXPROCS suffix is captured as the run's core count (the
+// test binary omits it when GOMAXPROCS is 1), and the memory columns
+// are optional (absent without -benchmem).
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-(\d+))?\s+\d+\s+([\d.]+) ns/op(?:.*?\s([\d.]+) B/op\s+([\d.]+) allocs/op)?`)
 
 // parseBench extracts benchmark results from -bench output. Repeated
 // runs of one benchmark (-count > 1) keep the best (lowest ns/op) —
@@ -60,11 +75,14 @@ func parseBench(r io.Reader) (map[string]*benchmark, error) {
 		if m == nil {
 			continue
 		}
-		b := &benchmark{}
-		b.NsPerOp, _ = strconv.ParseFloat(m[2], 64)
-		if m[3] != "" {
-			b.BytesPerOp, _ = strconv.ParseFloat(m[3], 64)
-			b.AllocsPerOp, _ = strconv.ParseFloat(m[4], 64)
+		b := &benchmark{Cores: 1}
+		if m[2] != "" {
+			b.Cores, _ = strconv.Atoi(m[2])
+		}
+		b.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
+		if m[4] != "" {
+			b.BytesPerOp, _ = strconv.ParseFloat(m[4], 64)
+			b.AllocsPerOp, _ = strconv.ParseFloat(m[5], 64)
 		} else {
 			b.BytesPerOp, b.AllocsPerOp = -1, -1 // no -benchmem columns
 		}
@@ -88,11 +106,28 @@ type row struct {
 	metric          string
 	base, cur, d    float64
 	beyondTolerance bool
+	gated           bool // alloc regression on a -fail-allocs benchmark
 }
 
-// diff compares current results against the baseline, returning one
-// row per comparable metric and the count of flagged regressions.
-func diff(base, cur map[string]*benchmark, tolerance float64) (rows []row, flagged int) {
+// skip records a baseline entry refused because its recorded core
+// count differs from the current run's.
+type skip struct {
+	name                string
+	baseCores, curCores int
+}
+
+type options struct {
+	tolerance      float64        // ns/op and B/op
+	allocTolerance float64        // allocs/op (deterministic, so tighter)
+	failAllocs     *regexp.Regexp // benchmarks whose alloc regressions gate
+	defaultCores   int            // baseline entries without their own cores field
+}
+
+// diff compares current results against the baseline. Entries recorded
+// under a different core count are refused (returned in skipped), the
+// rest produce one row per comparable metric. warned counts tolerance
+// overruns; gated counts alloc overruns on -fail-allocs benchmarks.
+func diff(base, cur map[string]*benchmark, opt options) (rows []row, warned, gated int, skipped []skip) {
 	names := make([]string, 0, len(cur))
 	for name := range cur {
 		if _, ok := base[name]; ok {
@@ -102,30 +137,44 @@ func diff(base, cur map[string]*benchmark, tolerance float64) (rows []row, flagg
 	sort.Strings(names)
 	for _, name := range names {
 		b, c := base[name], cur[name]
+		baseCores := b.Cores
+		if baseCores == 0 {
+			baseCores = opt.defaultCores
+		}
+		if baseCores != c.Cores {
+			skipped = append(skipped, skip{name: name, baseCores: baseCores, curCores: c.Cores})
+			continue
+		}
 		metrics := []struct {
 			metric    string
 			base, cur float64
+			tolerance float64
 		}{
-			{"ns/op", b.NsPerOp, c.NsPerOp},
-			{"B/op", b.BytesPerOp, c.BytesPerOp},
-			{"allocs/op", b.AllocsPerOp, c.AllocsPerOp},
+			{"ns/op", b.NsPerOp, c.NsPerOp, opt.tolerance},
+			{"B/op", b.BytesPerOp, c.BytesPerOp, opt.tolerance},
+			{"allocs/op", b.AllocsPerOp, c.AllocsPerOp, opt.allocTolerance},
 		}
 		for _, m := range metrics {
 			if m.cur < 0 {
 				continue // run had no -benchmem columns
 			}
-			d := delta(m.base, m.cur)
-			over := d > tolerance
-			if over {
-				flagged++
+			r := row{name: name, metric: m.metric, base: m.base, cur: m.cur, d: delta(m.base, m.cur)}
+			if r.d > m.tolerance {
+				r.beyondTolerance = true
+				if m.metric == "allocs/op" && opt.failAllocs != nil && opt.failAllocs.MatchString(name) {
+					r.gated = true
+					gated++
+				} else {
+					warned++
+				}
 			}
-			rows = append(rows, row{name: name, metric: m.metric, base: m.base, cur: m.cur, d: d, beyondTolerance: over})
+			rows = append(rows, r)
 		}
 	}
-	return rows, flagged
+	return rows, warned, gated, skipped
 }
 
-func run(baselinePath, inputPath string, tolerance float64, failOnRegress bool, in io.Reader, out io.Writer) (int, error) {
+func run(baselinePath, inputPath string, opt options, failOnRegress bool, in io.Reader, out io.Writer) (int, error) {
 	raw, err := os.ReadFile(baselinePath)
 	if err != nil {
 		return 2, err
@@ -133,6 +182,10 @@ func run(baselinePath, inputPath string, tolerance float64, failOnRegress bool, 
 	var base baseline
 	if err := json.Unmarshal(raw, &base); err != nil {
 		return 2, fmt.Errorf("parsing %s: %w", baselinePath, err)
+	}
+	opt.defaultCores = base.Cores
+	if opt.defaultCores == 0 {
+		opt.defaultCores = 1
 	}
 	src := in
 	if inputPath != "" {
@@ -151,24 +204,39 @@ func run(baselinePath, inputPath string, tolerance float64, failOnRegress bool, 
 		return 2, fmt.Errorf("no benchmark result lines in input")
 	}
 
-	rows, flagged := diff(base.Benchmarks, cur, tolerance)
+	rows, warned, gated, skipped := diff(base.Benchmarks, cur, opt)
+	for _, s := range skipped {
+		fmt.Fprintf(out, "refusing %s: baseline recorded on %d core(s), this run used %d — re-record the baseline on this hardware\n",
+			s.name, s.baseCores, s.curCores)
+	}
 	if len(rows) == 0 {
+		if len(skipped) > 0 {
+			return 2, fmt.Errorf("every common benchmark was recorded under a different core count than this run; re-record %s", baselinePath)
+		}
 		return 2, fmt.Errorf("no benchmarks in common between the run and %s", baselinePath)
 	}
 	fmt.Fprintf(out, "%-36s %-10s %14s %14s %8s\n", "benchmark", "metric", "baseline", "current", "delta")
 	for _, r := range rows {
 		mark := ""
-		if r.beyondTolerance {
+		if r.gated {
+			mark = "  REGRESSION (gated)"
+		} else if r.beyondTolerance {
 			mark = "  REGRESSION"
 		}
 		fmt.Fprintf(out, "%-36s %-10s %14.0f %14.0f %+7.1f%%%s\n", r.name, r.metric, r.base, r.cur, 100*r.d, mark)
 	}
-	if flagged > 0 {
-		fmt.Fprintf(out, "\n%d metric(s) regressed beyond %.0f%% of the baseline in %s\n", flagged, 100*tolerance, baselinePath)
-		if failOnRegress {
-			return 1, nil
+	if gated > 0 {
+		fmt.Fprintf(out, "\n%d alloc metric(s) regressed beyond %.0f%% on gated benchmarks (allocation counts are deterministic; this is a real regression, not noise)\n",
+			gated, 100*opt.allocTolerance)
+	}
+	if warned > 0 {
+		fmt.Fprintf(out, "\n%d metric(s) regressed beyond tolerance of the baseline in %s\n", warned, baselinePath)
+		if !failOnRegress {
+			fmt.Fprintln(out, "(warn-only mode: exiting 0; pass -fail to gate)")
 		}
-		fmt.Fprintln(out, "(warn-only mode: exiting 0; pass -fail to gate)")
+	}
+	if gated > 0 || (warned > 0 && failOnRegress) {
+		return 1, nil
 	}
 	return 0, nil
 }
@@ -176,11 +244,22 @@ func run(baselinePath, inputPath string, tolerance float64, failOnRegress bool, 
 func main() {
 	baselinePath := flag.String("baseline", "BENCH_engine.json", "baseline JSON to diff against")
 	inputPath := flag.String("input", "", "file holding `go test -bench` output (default stdin)")
-	tolerance := flag.Float64("tolerance", 0.25, "flag regressions beyond this relative delta (0.25 = 25%)")
+	tolerance := flag.Float64("tolerance", 0.25, "flag ns/op and B/op regressions beyond this relative delta (0.25 = 25%)")
+	allocTolerance := flag.Float64("tolerance-allocs", 0.05, "flag allocs/op regressions beyond this relative delta")
+	failAllocs := flag.String("fail-allocs", "", "regexp of benchmarks whose allocs/op regressions exit 1 even in warn-only mode")
 	failOnRegress := flag.Bool("fail", false, "exit 1 on flagged regressions instead of warning")
 	flag.Parse()
 
-	code, err := run(*baselinePath, *inputPath, *tolerance, *failOnRegress, os.Stdin, os.Stdout)
+	opt := options{tolerance: *tolerance, allocTolerance: *allocTolerance}
+	if *failAllocs != "" {
+		re, err := regexp.Compile(*failAllocs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff: bad -fail-allocs regexp:", err)
+			os.Exit(2)
+		}
+		opt.failAllocs = re
+	}
+	code, err := run(*baselinePath, *inputPath, opt, *failOnRegress, os.Stdin, os.Stdout)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 	}

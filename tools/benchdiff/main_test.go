@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -35,8 +36,15 @@ func TestParseBench(t *testing.T) {
 	if b.BytesPerOp != 25616681 || b.AllocsPerOp != 4905 {
 		t.Fatalf("memory columns parsed as %v B/op %v allocs/op", b.BytesPerOp, b.AllocsPerOp)
 	}
-	if got["BenchmarkShardsAppend"] == nil {
+	if b.Cores != 8 {
+		t.Fatalf("the -8 GOMAXPROCS suffix must become Cores = 8, got %d", b.Cores)
+	}
+	sa := got["BenchmarkShardsAppend"]
+	if sa == nil {
 		t.Fatal("suffix-free benchmark line not parsed")
+	}
+	if sa.Cores != 1 {
+		t.Fatalf("a suffix-free line means GOMAXPROCS=1, got Cores = %d", sa.Cores)
 	}
 	// Custom ReportMetric columns between ns/op and B/op must not
 	// derail the memory columns.
@@ -50,17 +58,21 @@ func TestParseBench(t *testing.T) {
 
 func TestDiffTolerance(t *testing.T) {
 	base := map[string]*benchmark{
-		"BenchmarkA": {NsPerOp: 100, BytesPerOp: 1000, AllocsPerOp: 10},
-		"BenchmarkB": {NsPerOp: 100, BytesPerOp: 1000, AllocsPerOp: 10},
+		"BenchmarkA": {NsPerOp: 100, BytesPerOp: 1000, AllocsPerOp: 10, Cores: 1},
+		"BenchmarkB": {NsPerOp: 100, BytesPerOp: 1000, AllocsPerOp: 10, Cores: 1},
 	}
 	cur := map[string]*benchmark{
-		"BenchmarkA":     {NsPerOp: 110, BytesPerOp: 1000, AllocsPerOp: 10}, // +10%: inside 25%
-		"BenchmarkB":     {NsPerOp: 200, BytesPerOp: 1000, AllocsPerOp: 20}, // ns and allocs doubled
-		"BenchmarkExtra": {NsPerOp: 1},                                      // not in baseline: skipped
+		"BenchmarkA":     {NsPerOp: 110, BytesPerOp: 1000, AllocsPerOp: 10, Cores: 1}, // +10%: inside 25%
+		"BenchmarkB":     {NsPerOp: 200, BytesPerOp: 1000, AllocsPerOp: 20, Cores: 1}, // ns and allocs doubled
+		"BenchmarkExtra": {NsPerOp: 1, Cores: 1},                                      // not in baseline: skipped
 	}
-	rows, flagged := diff(base, cur, 0.25)
-	if flagged != 2 {
-		t.Fatalf("flagged = %d, want ns/op and allocs/op of B", flagged)
+	opt := options{tolerance: 0.25, allocTolerance: 0.25, defaultCores: 1}
+	rows, warned, gated, skipped := diff(base, cur, opt)
+	if warned != 2 || gated != 0 {
+		t.Fatalf("warned = %d gated = %d, want ns/op and allocs/op of B warned", warned, gated)
+	}
+	if len(skipped) != 0 {
+		t.Fatalf("skipped = %v, want none at matching core counts", skipped)
 	}
 	if len(rows) != 6 {
 		t.Fatalf("rows = %d, want 3 metrics for each of 2 common benchmarks", len(rows))
@@ -72,22 +84,78 @@ func TestDiffTolerance(t *testing.T) {
 		}
 	}
 	// Faster-than-baseline is never flagged: only regressions gate.
-	if _, flagged := diff(base, map[string]*benchmark{"BenchmarkA": {NsPerOp: 1, BytesPerOp: 1, AllocsPerOp: 1}}, 0.25); flagged != 0 {
+	fast := map[string]*benchmark{"BenchmarkA": {NsPerOp: 1, BytesPerOp: 1, AllocsPerOp: 1, Cores: 1}}
+	if _, warned, gated, _ := diff(base, fast, opt); warned != 0 || gated != 0 {
 		t.Fatalf("improvement flagged as regression")
+	}
+}
+
+func TestDiffCoresRefusal(t *testing.T) {
+	base := map[string]*benchmark{
+		"BenchmarkA": {NsPerOp: 100, BytesPerOp: 100, AllocsPerOp: 1, Cores: 8},
+		"BenchmarkB": {NsPerOp: 100, BytesPerOp: 100, AllocsPerOp: 1}, // inherits defaultCores
+	}
+	cur := map[string]*benchmark{
+		"BenchmarkA": {NsPerOp: 100, BytesPerOp: 100, AllocsPerOp: 1, Cores: 1},
+		"BenchmarkB": {NsPerOp: 100, BytesPerOp: 100, AllocsPerOp: 1, Cores: 1},
+	}
+	opt := options{tolerance: 0.25, allocTolerance: 0.25, defaultCores: 1}
+	rows, _, _, skipped := diff(base, cur, opt)
+	if len(skipped) != 1 || skipped[0].name != "BenchmarkA" || skipped[0].baseCores != 8 || skipped[0].curCores != 1 {
+		t.Fatalf("skipped = %+v, want BenchmarkA refused 8-vs-1", skipped)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want only BenchmarkB's 3 metrics (B inherits the baseline default of 1 core)", len(rows))
+	}
+	for _, r := range rows {
+		if r.name != "BenchmarkB" {
+			t.Fatalf("row for refused benchmark: %+v", r)
+		}
+	}
+}
+
+func TestDiffAllocGating(t *testing.T) {
+	base := map[string]*benchmark{
+		"BenchmarkEngineBatch": {NsPerOp: 100, BytesPerOp: 1000, AllocsPerOp: 100, Cores: 1},
+		"BenchmarkOther":       {NsPerOp: 100, BytesPerOp: 1000, AllocsPerOp: 100, Cores: 1},
+	}
+	cur := map[string]*benchmark{
+		"BenchmarkEngineBatch": {NsPerOp: 300, BytesPerOp: 1000, AllocsPerOp: 120, Cores: 1}, // both regress
+		"BenchmarkOther":       {NsPerOp: 100, BytesPerOp: 1000, AllocsPerOp: 120, Cores: 1}, // allocs only
+	}
+	opt := options{
+		tolerance:      2.5, // timings warn-only with huge headroom
+		allocTolerance: 0.05,
+		failAllocs:     regexp.MustCompile(`^BenchmarkEngineBatch`),
+		defaultCores:   1,
+	}
+	rows, warned, gated, _ := diff(base, cur, opt)
+	if gated != 1 {
+		t.Fatalf("gated = %d, want exactly the EngineBatch alloc regression", gated)
+	}
+	if warned != 1 {
+		t.Fatalf("warned = %d, want the ungated BenchmarkOther alloc regression", warned)
+	}
+	for _, r := range rows {
+		wantGated := r.name == "BenchmarkEngineBatch" && r.metric == "allocs/op"
+		if r.gated != wantGated {
+			t.Fatalf("row %+v: gated = %v, want %v", r, r.gated, wantGated)
+		}
 	}
 }
 
 func TestRunEndToEnd(t *testing.T) {
 	dir := t.TempDir()
 	basePath := filepath.Join(dir, "base.json")
-	baseJSON := `{"description":"test","benchmarks":{
-		"BenchmarkEngineBatch":{"ns_per_op":57569475,"bytes_per_op":25616681,"allocs_per_op":4905}}}`
+	baseJSON := `{"description":"test","cores":8,"benchmarks":{
+		"BenchmarkEngineBatch":{"ns_per_op":57569475,"bytes_per_op":25616681,"allocs_per_op":4905,"cores":8}}}`
 	if err := os.WriteFile(basePath, []byte(baseJSON), 0o644); err != nil {
 		t.Fatal(err)
 	}
+	opt := options{tolerance: 0.25, allocTolerance: 0.05}
 
 	var out strings.Builder
-	code, err := run(basePath, "", 0.25, false, strings.NewReader(sampleOutput), &out)
+	code, err := run(basePath, "", opt, false, strings.NewReader(sampleOutput), &out)
 	if err != nil || code != 0 {
 		t.Fatalf("run: code %d, err %v\n%s", code, err, out.String())
 	}
@@ -102,22 +170,53 @@ func TestRunEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	out.Reset()
-	code, err = run(basePath, "", 0.25, false, strings.NewReader(sampleOutput), &out)
+	code, err = run(basePath, "", opt, false, strings.NewReader(sampleOutput), &out)
 	if err != nil || code != 0 {
 		t.Fatalf("warn-only regressed run: code %d, err %v", code, err)
 	}
 	if !strings.Contains(out.String(), "REGRESSION") {
 		t.Fatalf("regression not reported:\n%s", out.String())
 	}
-	code, _ = run(basePath, "", 0.25, true, strings.NewReader(sampleOutput), &out)
+	code, _ = run(basePath, "", opt, true, strings.NewReader(sampleOutput), &out)
 	if code != 1 {
 		t.Fatalf("-fail mode: code %d, want 1", code)
 	}
 
+	// An alloc regression on a -fail-allocs benchmark exits 1 even in
+	// warn-only timing mode.
+	allocBase := strings.ReplaceAll(baseJSON, `"allocs_per_op":4905`, `"allocs_per_op":1000`)
+	if err := os.WriteFile(basePath, []byte(allocBase), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	gatedOpt := opt
+	gatedOpt.failAllocs = regexp.MustCompile(`^BenchmarkEngineBatch`)
+	out.Reset()
+	code, err = run(basePath, "", gatedOpt, false, strings.NewReader(sampleOutput), &out)
+	if err != nil || code != 1 {
+		t.Fatalf("gated alloc regression: code %d, err %v\n%s", code, err, out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION (gated)") {
+		t.Fatalf("gated regression not marked:\n%s", out.String())
+	}
+
+	// A baseline recorded under a different core count than every
+	// common benchmark in the run is refused outright.
+	oneCoreRun := "BenchmarkEngineBatch \t 10 \t 57569475 ns/op\t25616681 B/op\t 4905 allocs/op\n"
+	out.Reset()
+	code, err = run(basePath, "", opt, false, strings.NewReader(oneCoreRun), &out)
+	if code != 2 || err == nil {
+		t.Fatalf("cores mismatch: code %d, err %v\n%s", code, err, out.String())
+	}
+	if !strings.Contains(out.String(), "refusing BenchmarkEngineBatch") {
+		t.Fatalf("refusal not reported per-entry:\n%s", out.String())
+	}
+
 	// The real repo baseline must parse and share benchmarks with real
-	// output shapes.
-	code, err = run(filepath.Join("..", "..", "BENCH_engine.json"), "", 0.25, false, strings.NewReader(sampleOutput), &out)
+	// output shapes. The repo baseline is recorded on 1 core, so feed a
+	// suffix-free (GOMAXPROCS=1) line.
+	out.Reset()
+	code, err = run(filepath.Join("..", "..", "BENCH_engine.json"), "", opt, false, strings.NewReader(oneCoreRun), &out)
 	if err != nil || code != 0 {
-		t.Fatalf("repo baseline: code %d, err %v", code, err)
+		t.Fatalf("repo baseline: code %d, err %v\n%s", code, err, out.String())
 	}
 }

@@ -1,0 +1,99 @@
+// Command profile runs BenchmarkEngineBatch under the CPU and heap
+// profilers and prints the top-10 flat costs of each — the one-command
+// answer to "where does a generation's time and memory go now?".
+//
+//	go run ./tools/profile
+//	go run ./tools/profile -bench 'BenchmarkEngineBatch$' -benchtime 2s -dir /tmp/prof
+//
+// The profiles (cpu.out, mem.out, and the bench binary pprof needs to
+// symbolize them) are left in -dir for deeper interactive sessions:
+//
+//	go tool pprof /tmp/prof/bench.test /tmp/prof/cpu.out
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+func main() {
+	bench := flag.String("bench", "BenchmarkEngineBatch$", "benchmark regexp to profile")
+	benchtime := flag.String("benchtime", "2s", "per-benchmark budget passed to go test")
+	dir := flag.String("dir", "", "directory for profile artifacts (default: a fresh temp dir)")
+	pkg := flag.String("pkg", ".", "package holding the benchmark")
+	flag.Parse()
+
+	if err := run(*bench, *benchtime, *dir, *pkg); err != nil {
+		fmt.Fprintln(os.Stderr, "profile:", err)
+		os.Exit(1)
+	}
+}
+
+func run(bench, benchtime, dir, pkg string) error {
+	if dir == "" {
+		d, err := os.MkdirTemp("", "engineprof")
+		if err != nil {
+			return err
+		}
+		dir = d
+	} else if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	cpu := filepath.Join(dir, "cpu.out")
+	mem := filepath.Join(dir, "mem.out")
+	bin := filepath.Join(dir, "bench.test")
+
+	// One bench invocation records both profiles; -o keeps the test
+	// binary so pprof can symbolize without rebuilding.
+	cmd := exec.Command("go", "test", "-run=NONE", "-bench", bench,
+		"-benchtime", benchtime, "-benchmem",
+		"-cpuprofile", cpu, "-memprofile", mem, "-o", bin, pkg)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	fmt.Printf("profiling %s (-benchtime %s)...\n\n", bench, benchtime)
+	if err := cmd.Run(); err != nil {
+		return fmt.Errorf("bench run: %w", err)
+	}
+
+	for _, p := range []struct{ title, flags, path string }{
+		{"top-10 CPU (flat)", "-top", cpu},
+		{"top-10 allocated bytes (flat)", "-top -sample_index=alloc_space", mem},
+		{"top-10 allocated objects (flat)", "-top -sample_index=alloc_objects", mem},
+	} {
+		fmt.Printf("\n=== %s ===\n", p.title)
+		args := []string{"tool", "pprof", "-nodecount=10"}
+		for _, f := range splitFlags(p.flags) {
+			args = append(args, f)
+		}
+		args = append(args, bin, p.path)
+		cmd := exec.Command("go", args...)
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Run(); err != nil {
+			return fmt.Errorf("pprof %s: %w", p.path, err)
+		}
+	}
+	fmt.Printf("\nprofiles kept in %s (cpu.out, mem.out, bench.test)\n", dir)
+	return nil
+}
+
+// splitFlags splits a space-separated flag string; none of our flag
+// values contain spaces.
+func splitFlags(s string) []string {
+	var out []string
+	start := -1
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ' ' {
+			if start >= 0 {
+				out = append(out, s[start:i])
+				start = -1
+			}
+		} else if start < 0 {
+			start = i
+		}
+	}
+	return out
+}
