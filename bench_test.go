@@ -617,7 +617,7 @@ func BenchmarkGenerationStep(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		ex.Step()
+		ex.Step(context.Background())
 	}
 }
 

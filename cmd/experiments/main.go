@@ -46,7 +46,8 @@ func main() {
 		tiny       = flag.Bool("tiny", false, "use the unit-test scale (fast smoke run)")
 		seed       = flag.Int64("seed", 42, "base RNG seed")
 	)
-	ef := forecast.RegisterFlags(flag.CommandLine) // -shards, -window, -rebalance
+	ef := forecast.RegisterFlags(flag.CommandLine)     // -shards, -window, -rebalance
+	ofl := forecast.RegisterObsFlags(flag.CommandLine) // -debug-addr, -trace
 	flag.Parse()
 
 	sc := experiments.Quick()
@@ -72,6 +73,18 @@ func main() {
 			fmt.Fprintln(os.Stderr, "note: -remote drives the facade-based experiments (tables, figures, horizons, noise, generalization); ablations, approaches and -stream stay in-process")
 		}
 	}
+
+	// Telemetry parity with tsforecast/shardserver: live /metrics,
+	// /healthz, /debug/vars and /debug/pprof on -debug-addr, JSONL
+	// events and trace spans on -trace, attached to every facade-driven
+	// experiment run.
+	reg, stopObs, err := ofl.Start(os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	defer stopObs()
+	sc.Telemetry = reg
 
 	if ef.Window() > 0 && !*stream && !(*all && *extras) {
 		fmt.Fprintln(os.Stderr, "note: -window only applies to the windowed-stream scenario (-stream, or -all -extras); the selected experiments train on their full dataset")

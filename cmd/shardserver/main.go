@@ -30,7 +30,6 @@ import (
 
 	"repro/forecast"
 	"repro/internal/engine"
-	"repro/internal/obs"
 	"repro/internal/remote"
 )
 
@@ -46,8 +45,7 @@ func main() {
 	csv := fs.String("csv", "", "optional CSV slice to preload (clients then attach with Sync instead of Load)")
 	d := fs.Int("d", 0, "window width for -csv")
 	horizon := fs.Int("horizon", 1, "prediction horizon for -csv")
-	debugAddr := fs.String("debug-addr", "", "serve live metrics (/debug/vars) and profiles (/debug/pprof) on this address")
-	trace := fs.String("trace", "", "append JSONL trace events to this file")
+	ofl := forecast.RegisterObsFlags(fs) // -debug-addr, -trace
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: shardserver [flags]")
 		fs.PrintDefaults()
@@ -71,26 +69,17 @@ func main() {
 	}
 
 	// Telemetry: per-verb RPC latency/byte histograms plus the engine's
-	// batch and mutation metrics, served live when -debug-addr is set.
-	if *debugAddr != "" || *trace != "" {
-		reg := obs.New()
+	// batch and mutation metrics, served live when -debug-addr is set;
+	// with -trace, each traced client request also opens a handler span
+	// into this server's trace file, stitchable under the client's tree
+	// by tools/traceview.
+	reg, stopObs, err := ofl.Start(log.Writer())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopObs()
+	if reg != nil {
 		srv.Instrument(reg)
-		if *trace != "" {
-			tr, err := obs.TraceFile(*trace, nil)
-			if err != nil {
-				log.Fatal(err)
-			}
-			defer tr.Close()
-			reg.TraceTo(tr)
-		}
-		if *debugAddr != "" {
-			dbg, err := obs.ServeDebug(*debugAddr, reg)
-			if err != nil {
-				log.Fatal(err)
-			}
-			defer dbg.Close()
-			log.Printf("debug endpoints on http://%s/debug/vars", dbg.Addr())
-		}
 	}
 
 	l, err := net.Listen("tcp", *listen)

@@ -24,7 +24,6 @@ import (
 
 	"repro/forecast"
 	"repro/internal/metrics"
-	"repro/internal/obs"
 	"repro/internal/plot"
 	"repro/internal/series"
 )
@@ -124,8 +123,7 @@ func cmdTrain(ctx context.Context, args []string) error {
 	seed := fs.Int64("seed", 1, "RNG seed")
 	fl := forecast.RegisterFlags(fs) // -shards, -window, -rebalance
 	out := fs.String("out", "rules.json", "output rule-set path")
-	debugAddr := fs.String("debug-addr", "", "serve live metrics (/debug/vars) and profiles (/debug/pprof) on this address while training")
-	trace := fs.String("trace", "", "append JSONL trace events (fit lifecycle, best-of-run improvements) to this file")
+	ofl := forecast.RegisterObsFlags(fs) // -debug-addr, -trace
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -155,26 +153,16 @@ func cmdTrain(ctx context.Context, args []string) error {
 	// passed). Results are bit-identical to the single-index path at
 	// any shard count, window or rebalancing history.
 	opts = append(opts, fl.Options()...)
-	// Telemetry: batch latencies, cache counters and the best-of-run
-	// trajectory, live on -debug-addr and/or traced to -trace.
-	if *debugAddr != "" || *trace != "" {
-		reg := forecast.NewTelemetry()
+	// Telemetry: batch latencies, cache counters, fit trace spans and
+	// the best-of-run trajectory, live on -debug-addr and/or traced to
+	// -trace.
+	reg, stopObs, err := ofl.Start(os.Stderr)
+	if err != nil {
+		return err
+	}
+	defer stopObs()
+	if reg != nil {
 		opts = append(opts, forecast.WithTelemetry(reg))
-		if *trace != "" {
-			tc, err := forecast.TraceTo(reg, *trace)
-			if err != nil {
-				return err
-			}
-			defer tc.Close()
-		}
-		if *debugAddr != "" {
-			dbg, err := obs.ServeDebug(*debugAddr, reg)
-			if err != nil {
-				return err
-			}
-			defer dbg.Close()
-			fmt.Fprintf(os.Stderr, "debug endpoints on http://%s/debug/vars\n", dbg.Addr())
-		}
 	}
 	f, err := forecast.New(opts...)
 	if err != nil {

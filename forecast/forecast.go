@@ -178,6 +178,12 @@ func (f *Forecaster) Fit(ctx context.Context, ds *Dataset) error {
 		return fmt.Errorf("%w: WithHorizon(%d) does not match the dataset's horizon %d",
 			ErrOption, f.s.horizon, ds.Horizon)
 	}
+	// The fit's root trace span, opened before the store is built so
+	// the remote branch's dial, scatter and epoch RPCs already run
+	// under it — the whole fit then stitches into one tree across the
+	// client's and every shardserver's trace file (tools/traceview).
+	ctx, span := f.fitSpan(ctx)
+	defer span.End()
 	data := ds
 	var st store
 	switch {
@@ -199,6 +205,12 @@ func (f *Forecaster) Fit(ctx context.Context, ds *Dataset) error {
 		if err != nil {
 			return fmt.Errorf("forecast: remote cluster: %w", err)
 		}
+		// Instrument before Load so the scatter itself is observed —
+		// per-verb RPC metrics and, when tracing, rpc.reset spans
+		// under the fit root.
+		if f.s.telemetry != nil {
+			cl.Instrument(f.s.telemetry)
+		}
 		if err := cl.Load(ctx, ds); err != nil {
 			cl.Close()
 			return fmt.Errorf("forecast: remote cluster: %w", err)
@@ -210,11 +222,11 @@ func (f *Forecaster) Fit(ctx context.Context, ds *Dataset) error {
 			Workers:   f.s.workers,
 			Rebalance: f.s.rebalance,
 		})
-	}
-	if st != nil {
 		if f.s.telemetry != nil {
 			st.Instrument(f.s.telemetry)
 		}
+	}
+	if st != nil {
 		if f.s.slidingWin > 0 {
 			st.Window(f.s.slidingWin)
 		}

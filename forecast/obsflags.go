@@ -1,0 +1,73 @@
+package forecast
+
+import (
+	"flag"
+	"fmt"
+	"io"
+
+	"repro/internal/obs"
+)
+
+// ObsFlags bundles the observability CLI knobs every binary shares —
+// -debug-addr and -trace — the same way Flags bundles the engine
+// knobs: registered once through RegisterObsFlags, resolved once
+// through Start, so tsforecast, shardserver and experiments agree on
+// spelling, meaning and wiring.
+type ObsFlags struct {
+	debugAddr *string
+	trace     *string
+}
+
+// RegisterObsFlags defines the observability flags on fs and returns
+// the handle to resolve them after parsing.
+func RegisterObsFlags(fs *flag.FlagSet) *ObsFlags {
+	return &ObsFlags{
+		debugAddr: fs.String("debug-addr", "",
+			"serve live diagnostics on this address: /metrics (Prometheus), /healthz, /debug/vars, /debug/pprof"),
+		trace: fs.String("trace", "",
+			"append JSONL trace events (metrics snapshots, run events, spans) to this file"),
+	}
+}
+
+// Enabled reports whether either flag asked for telemetry.
+func (f *ObsFlags) Enabled() bool { return *f.debugAddr != "" || *f.trace != "" }
+
+// Start resolves the parsed flags into a running telemetry stack: a
+// fresh registry, with the trace file attached when -trace was given
+// and the debug HTTP server listening when -debug-addr was. The
+// returned stop function flushes and releases both; the registry is
+// nil (and stop a no-op) when neither flag was set. When the debug
+// server starts, its resolved address is announced on w (nil
+// suppresses the announcement).
+func (f *ObsFlags) Start(w io.Writer) (*Telemetry, func(), error) {
+	if !f.Enabled() {
+		return nil, func() {}, nil
+	}
+	reg := obs.New()
+	var closers []io.Closer
+	stop := func() {
+		for _, c := range closers {
+			c.Close()
+		}
+	}
+	if *f.trace != "" {
+		tr, err := obs.TraceFile(*f.trace, nil)
+		if err != nil {
+			return nil, nil, err
+		}
+		reg.TraceTo(tr)
+		closers = append(closers, tr)
+	}
+	if *f.debugAddr != "" {
+		dbg, err := obs.ServeDebug(*f.debugAddr, reg)
+		if err != nil {
+			stop()
+			return nil, nil, err
+		}
+		closers = append(closers, dbg)
+		if w != nil {
+			fmt.Fprintf(w, "debug endpoints on http://%s/metrics (also /healthz, /debug/vars, /debug/pprof)\n", dbg.Addr())
+		}
+	}
+	return reg, stop, nil
+}

@@ -1,6 +1,7 @@
 package forecast
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -71,4 +72,17 @@ func (f *Forecaster) trace(event string, fields map[string]any) {
 	if t := f.s.telemetry; t.Tracing() {
 		t.Trace(event, fields)
 	}
+}
+
+// fitSpan opens the root span of one Fit — the top of the trace tree
+// every core execution, generation, batch and RPC span hangs under,
+// across this process's trace file and every shardserver's. (ctx, nil)
+// when no traced registry is attached.
+func (f *Forecaster) fitSpan(ctx context.Context) (context.Context, *obs.Span) {
+	t := f.s.telemetry
+	if !t.Tracing() {
+		return ctx, nil
+	}
+	sp := t.StartSpan("forecast.fit", obs.SpanContext{})
+	return obs.ContextWithSpan(ctx, sp), sp
 }

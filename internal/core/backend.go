@@ -94,6 +94,18 @@ type Store interface {
 	LiveLen() int
 }
 
+// BackendCtx is an optional interface a Backend implements when its
+// single-rule match path can make use of the caller's context —
+// cancellation and trace-span propagation for a networked backend
+// (internal/remote). The evaluator prefers MatchIndicesCtx over
+// MatchIndices whenever it holds a context; results must be identical
+// to MatchIndices barring cancellation (the evaluator discards the
+// result when ctx was cancelled mid-query). In-process backends have
+// nothing to gain and simply do not implement the interface.
+type BackendCtx interface {
+	MatchIndicesCtx(ctx context.Context, r *Rule) []int
+}
+
 // BackendHealth is an optional interface a Backend implements when
 // its match path can fail out-of-band — a network transport losing a
 // shard server mid-run. BackendErr returns the first such failure

@@ -99,8 +99,10 @@ func NewExecution(ctx context.Context, cfg Config, data *series.Dataset) (*Execu
 }
 
 // step is the Step implementation; the exported wrapper (telemetry.go)
-// adds the optional per-generation instrumentation.
-func (ex *Execution) step() bool {
+// adds the optional per-generation instrumentation. ctx reaches the
+// offspring evaluation, so over a remote backend the match RPC is
+// cancellable and traced under the caller's span.
+func (ex *Execution) step(ctx context.Context) bool {
 	cfg := &ex.Config
 	var child *Rule
 	if ex.src.Bool(cfg.CrossoverRate) {
@@ -114,7 +116,7 @@ func (ex *Execution) step() bool {
 		child = ex.Pop[pa].Clone()
 	}
 	ex.mut.mutate(child, ex.src)
-	ex.Eval.Evaluate(child)
+	ex.Eval.EvaluateCtx(ctx, child)
 
 	var target int
 	switch cfg.Replacement {
@@ -151,11 +153,13 @@ func (ex *Execution) step() bool {
 // pre-fault evaluations, never results computed from truncated
 // matches. A nil error means the full budget was spent.
 func (ex *Execution) Run(ctx context.Context) error {
+	ctx, sp := ex.spanCtx(ctx, "core.execution")
+	defer sp.End()
 	for g := 0; g < ex.Config.Generations; g++ {
 		if ctx.Err() != nil || ex.Eval.BackendErr() != nil {
 			break
 		}
-		ex.Step()
+		ex.Step(ctx)
 	}
 	ex.refreshStats()
 	ex.noteRunDone()

@@ -110,7 +110,7 @@ func TestCrowdingNeverLosesBest(t *testing.T) {
 	}
 	prev := best()
 	for g := 0; g < 300; g++ {
-		ex.Step()
+		ex.Step(context.Background())
 		cur := best()
 		if cur < prev-1e-9 {
 			t.Fatalf("best fitness dropped at generation %d: %v -> %v", g, prev, cur)
@@ -126,7 +126,7 @@ func TestPopulationSizeConstant(t *testing.T) {
 		t.Fatal(err)
 	}
 	for g := 0; g < 200; g++ {
-		ex.Step()
+		ex.Step(context.Background())
 		if len(ex.Pop) != 30 {
 			t.Fatalf("steady state violated: population %d at generation %d", len(ex.Pop), g)
 		}

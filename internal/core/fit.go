@@ -31,7 +31,11 @@ type Evaluator struct {
 	workers int
 	idx     *MatchIndex // nil when backend is set
 	backend Backend
-	cache   EvalCache
+	// backendCtx caches the backend's optional BackendCtx side (one
+	// type assertion at construction, not one per evaluation); nil when
+	// the backend doesn't implement it.
+	backendCtx BackendCtx
+	cache      EvalCache
 
 	// Telemetry counters (nil handles no-op): full evaluations
 	// performed vs results served from the cache.
@@ -95,6 +99,7 @@ func NewEvaluatorOpt(data *series.Dataset, emax, fmin, ridge float64, workers in
 	}
 	if opt.Backend != nil && opt.Backend.Data() == data {
 		e.backend = opt.Backend
+		e.backendCtx, _ = opt.Backend.(BackendCtx)
 		if opt.Cache != nil {
 			e.cache = opt.Cache
 		}
@@ -237,6 +242,34 @@ func (e *Evaluator) Evaluate(r *Rule) {
 	e.evalsComputed.Inc()
 }
 
+// EvaluateCtx is Evaluate with the caller's context threaded into the
+// match query: against a BackendCtx backend (the remote cluster) the
+// RPC becomes cancellable by the caller and inherits its trace span,
+// so a traced run shows every single-rule match it issues. A result
+// cut short by cancellation is discarded exactly like a backend
+// fault — the rule keeps its prior fields and nothing is cached.
+// Otherwise identical to Evaluate, bit for bit.
+func (e *Evaluator) EvaluateCtx(ctx context.Context, r *Rule) {
+	key := e.evalKey(r.Cond)
+	if c := e.cache.Get(key); c != nil {
+		c.apply(r)
+		e.evalsCached.Inc()
+		return
+	}
+	var idx []int
+	if e.backendCtx != nil {
+		idx = e.backendCtx.MatchIndicesCtx(ctx, r)
+	} else {
+		idx = e.MatchIndices(r)
+	}
+	if ctx.Err() != nil || e.BackendErr() != nil {
+		return
+	}
+	e.evalFromMatches(r, idx)
+	e.cache.Put(key, resultOf(r))
+	e.evalsComputed.Inc()
+}
+
 // fitScratch is the per-worker scratch one evaluation reuses across
 // rules: the xs/ys gather buffers and the linalg normal-equation
 // storage. Pooled so steady-state batch evaluation allocates only
@@ -357,7 +390,7 @@ func (e *Evaluator) EvaluateAll(ctx context.Context, rules []*Rule) error {
 	// Each iteration is one complete rule evaluation (match, regression
 	// and cache insert are atomic per rule), so stopping between
 	// iterations can never publish a torn result.
-	if err := parallel.ForCtx(ctx, len(rules), e.workers, func(i int) { serial.Evaluate(rules[i]) }); err != nil {
+	if err := parallel.ForCtx(ctx, len(rules), e.workers, func(i int) { serial.EvaluateCtx(ctx, rules[i]) }); err != nil {
 		return err
 	}
 	// Evaluate cannot report a backend fault itself (it skips the rule
@@ -385,7 +418,7 @@ func (e *Evaluator) EvaluateBatch(ctx context.Context, rules []*Rule) error {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			e.Evaluate(r)
+			e.EvaluateCtx(ctx, r)
 		}
 		return nil
 	}

@@ -117,7 +117,7 @@ func RunIslands(ctx context.Context, cfg IslandConfig, data *series.Dataset) (*I
 				if ctx.Err() != nil || islands[i].Eval.BackendErr() != nil {
 					return
 				}
-				islands[i].Step()
+				islands[i].Step(ctx)
 			}
 		})
 		// A backend fault (a lost shard server) poisons every island —

@@ -42,11 +42,13 @@ func (ex *Execution) RunWithProgress(ctx context.Context, every int, fn func(Pro
 	if every < 1 {
 		every = 1
 	}
+	ctx, sp := ex.spanCtx(ctx, "core.execution")
+	defer sp.End()
 	for g := 0; g < ex.Config.Generations; g++ {
 		if ctx.Err() != nil || ex.Eval.BackendErr() != nil {
 			break
 		}
-		ex.Step()
+		ex.Step(ctx)
 		if (g+1)%every == 0 {
 			if !fn(ex.snapshot()) {
 				break
@@ -73,11 +75,13 @@ func (ex *Execution) RunUntilStagnant(ctx context.Context, patience int) (int, e
 	}
 	idle := 0
 	ran := 0
+	ctx, sp := ex.spanCtx(ctx, "core.execution")
+	defer sp.End()
 	for g := 0; g < ex.Config.Generations; g++ {
 		if ctx.Err() != nil || ex.Eval.BackendErr() != nil {
 			break
 		}
-		if ex.Step() {
+		if ex.Step(ctx) {
 			idle = 0
 		} else {
 			idle++

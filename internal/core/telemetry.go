@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/obs"
@@ -39,17 +40,31 @@ func newRunTelemetry(reg *obs.Registry) *runTelemetry {
 // 3-round trials, produce one offspring by uniform crossover, mutate
 // it, evaluate it, and let it replace the phenotypically nearest
 // individual iff it is fitter (crowding). Returns true if the
-// offspring entered the population.
-func (ex *Execution) Step() bool {
+// offspring entered the population. ctx bounds the offspring's match
+// query (a cancellable RPC over a remote backend) and, when it carries
+// a trace span, parents this generation's "core.generation" span.
+func (ex *Execution) Step(ctx context.Context) bool {
 	t := ex.tel
 	if t == nil {
-		return ex.step()
+		return ex.step(ctx)
 	}
+	ctx, sp := t.reg.ChildSpanCtx(ctx, "core.generation")
 	start := t.reg.Now()
-	replaced := ex.step()
+	replaced := ex.step(ctx)
+	sp.End()
 	t.genNs.Observe(t.reg.Now() - start)
 	t.gens.Inc()
 	return replaced
+}
+
+// spanCtx opens a run-level child span ("core.execution") when tracing
+// is on and ctx already carries a parent — the facade's fit root;
+// otherwise it returns ctx unchanged and a nil (no-op) span.
+func (ex *Execution) spanCtx(ctx context.Context, name string) (context.Context, *obs.Span) {
+	if ex.tel == nil {
+		return ctx, nil
+	}
+	return ex.tel.reg.ChildSpanCtx(ctx, name)
 }
 
 // noteImprovement records a new best-of-run individual: the trajectory

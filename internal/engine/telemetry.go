@@ -110,6 +110,14 @@ func (s *Shards) MatchBatch(ctx context.Context, rules []*core.Rule) [][]int {
 	if t == nil {
 		return s.matchBatch(ctx, rules)
 	}
+	if t.reg.Tracing() {
+		// Child of whatever traced operation issued the batch: the
+		// client-side evaluation pass in-process, the RPC handler span
+		// on a shard server.
+		var sp *obs.Span
+		ctx, sp = t.reg.ChildSpanCtx(ctx, "engine.matchbatch")
+		defer sp.End()
+	}
 	start := t.reg.Now()
 	out := s.matchBatch(ctx, rules)
 	t.batchNs.Observe(t.reg.Now() - start)

@@ -78,6 +78,9 @@ func ruleSystemRun(ctx context.Context, train, val *series.Dataset, sc Scale, se
 		lo, hi := train.TargetRange()
 		opts = append(opts, forecast.WithEMax(emaxFrac*(hi-lo)))
 	} // else EMax stays unset and core resolves it to 10% of the span
+	if sc.Telemetry != nil {
+		opts = append(opts, forecast.WithTelemetry(sc.Telemetry))
+	}
 	f, err := forecast.New(opts...)
 	if err != nil {
 		return nil, nil, nil, err

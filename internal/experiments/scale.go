@@ -8,6 +8,7 @@ package experiments
 import (
 	"fmt"
 
+	"repro/forecast"
 	"repro/internal/engine"
 )
 
@@ -61,6 +62,13 @@ type Scale struct {
 	// the direct-core scenarios (ablations, approaches, stream) stay
 	// in-process.
 	EngineRemote []string
+
+	// Telemetry attaches a metrics registry to every facade-driven
+	// experiment run: engine/RPC/core metrics, plus trace spans when
+	// the registry has a trace sink (cmd/experiments: -debug-addr and
+	// -trace). Purely observational — results are bit-identical with
+	// or without it.
+	Telemetry *forecast.Telemetry
 }
 
 // engineOptions resolves the scale's engine knobs into one option

@@ -8,19 +8,22 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 )
 
 // DebugServer is a live diagnostics endpoint: /debug/vars merges the
 // process's expvar state with every registry metric (flattened to top
-// level, so scrapers grep for plain metric names), and /debug/pprof
-// serves the full net/http/pprof suite. Start one with ServeDebug.
+// level, so scrapers grep for plain metric names), /metrics serves the
+// same registry in Prometheus text exposition format, /healthz answers
+// a JSON liveness summary, and /debug/pprof serves the full
+// net/http/pprof suite. Start one with ServeDebug.
 type DebugServer struct {
 	l   net.Listener
 	srv *http.Server
 }
 
-// ServeDebug listens on addr and serves /debug/vars and /debug/pprof
-// in a background goroutine until Close. A dedicated mux — not
+// ServeDebug listens on addr and serves /debug/vars, /metrics,
+// /healthz and /debug/pprof in a background goroutine until Close. A dedicated mux — not
 // http.DefaultServeMux — so importing obs never mounts debug handlers
 // on an application's own server. reg may be nil (expvar and pprof
 // only).
@@ -44,6 +47,14 @@ func ServeDebug(addr string, reg *Registry) (*DebugServer, error) {
 		reg.writeVars(w, &first)
 		io.WriteString(w, "\n}\n")
 	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		json.NewEncoder(w).Encode(reg.Health())
+	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -63,6 +74,87 @@ func (d *DebugServer) Close() error {
 		return nil
 	}
 	return d.srv.Close()
+}
+
+// WritePrometheus writes every registered metric in Prometheus text
+// exposition format (version 0.0.4): counters and gauges as single
+// samples, histograms as cumulative `_bucket{le="…"}` series ending in
+// `+Inf` plus `_sum` and `_count`. Metric names are emitted as
+// registered — the repo's naming convention ([a-z0-9_]+) is already
+// exposition-safe. No-op on a nil registry.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	if r == nil {
+		return
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, name := range r.names {
+		switch m := r.byName[name].(type) {
+		case *Counter:
+			fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, m.Value())
+		case *Gauge:
+			fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", name, name, formatFloat(m.Value()))
+		case *Histogram:
+			hv := m.Value()
+			fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+			var cum uint64
+			for _, b := range hv.Buckets {
+				cum += b.N
+				fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", name, b.Le, cum)
+			}
+			fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, hv.Count)
+			fmt.Fprintf(w, "%s_sum %d\n", name, hv.Sum)
+			fmt.Fprintf(w, "%s_count %d\n", name, hv.Count)
+		}
+	}
+}
+
+// formatFloat renders a gauge value the way Prometheus expects:
+// shortest round-trip decimal.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// HealthStatus is the /healthz payload: liveness plus the handful of
+// registry facts an operator checks first. Epoch and LiveRows are the
+// "engine_epoch"/"engine_live_rows" gauges (zero until an engine is
+// instrumented); TraceError surfaces the tracer's sticky failure and
+// flips Status to "degraded".
+type HealthStatus struct {
+	Status     string  `json:"status"`
+	UptimeNs   int64   `json:"uptime_ns"`
+	Epoch      float64 `json:"epoch"`
+	LiveRows   float64 `json:"live_rows"`
+	TraceError string  `json:"trace_error,omitempty"`
+}
+
+// Health assembles the /healthz payload. On a nil registry the status
+// is still "ok" — the process is up, it just isn't instrumented.
+func (r *Registry) Health() HealthStatus {
+	h := HealthStatus{Status: "ok", UptimeNs: r.Now()}
+	if r == nil {
+		return h
+	}
+	s := r.Snapshot()
+	h.Epoch = numeric(s["engine_epoch"])
+	h.LiveRows = numeric(s["engine_live_rows"])
+	if err := r.TraceErr(); err != nil {
+		h.Status = "degraded"
+		h.TraceError = err.Error()
+	}
+	return h
+}
+
+// numeric widens a snapshot scalar — uint64 counter or float64 gauge —
+// into a float64; histograms and absent metrics read as 0.
+func numeric(v any) float64 {
+	switch v := v.(type) {
+	case uint64:
+		return float64(v)
+	case float64:
+		return v
+	}
+	return 0
 }
 
 // writeVars appends the registry's metrics to an in-progress JSON

@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestWritePrometheus pins the text exposition format: TYPE lines,
+// cumulative histogram buckets with a +Inf terminator, _sum and
+// _count, everything in sorted name order.
+func TestWritePrometheus(t *testing.T) {
+	r := New()
+	r.Counter("rpc_matchbatch_count").Add(3)
+	r.Gauge("engine_live_rows").Set(128)
+	h := r.Histogram("engine_matchbatch_ns")
+	h.Observe(3) // bucket le=3
+	h.Observe(3)
+	h.Observe(12) // bucket le=15
+
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	got := buf.String()
+
+	for _, want := range []string{
+		"# TYPE engine_live_rows gauge\nengine_live_rows 128\n",
+		"# TYPE rpc_matchbatch_count counter\nrpc_matchbatch_count 3\n",
+		"# TYPE engine_matchbatch_ns histogram\n",
+		`engine_matchbatch_ns_bucket{le="3"} 2`,
+		`engine_matchbatch_ns_bucket{le="15"} 3`, // cumulative
+		`engine_matchbatch_ns_bucket{le="+Inf"} 3`,
+		"engine_matchbatch_ns_sum 18",
+		"engine_matchbatch_ns_count 3",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("exposition missing %q:\n%s", want, got)
+		}
+	}
+	// Sorted: the gauge precedes the counter alphabetically.
+	if strings.Index(got, "engine_live_rows") > strings.Index(got, "rpc_matchbatch_count") {
+		t.Fatal("metrics not in sorted name order")
+	}
+	// Minimal grammar check: every non-comment line is "name[{labels}] value".
+	for _, line := range strings.Split(strings.TrimRight(got, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.Fields(line)
+		if len(parts) != 2 {
+			t.Fatalf("malformed exposition line %q", line)
+		}
+	}
+	// A nil registry writes nothing.
+	var nilReg *Registry
+	buf.Reset()
+	nilReg.WritePrometheus(&buf)
+	if buf.Len() != 0 {
+		t.Fatal("nil registry wrote exposition output")
+	}
+}
+
+// TestHealth pins the /healthz payload: ok status with epoch and live
+// rows mirrored from the engine gauges, degraded once the trace sink
+// fails sticky.
+func TestHealth(t *testing.T) {
+	r := New()
+	r.Counter("engine_epoch").Add(5)
+	r.Gauge("engine_live_rows").Set(321)
+	hs := r.Health()
+	if hs.Status != "ok" || hs.Epoch != 5 || hs.LiveRows != 321 || hs.TraceError != "" {
+		t.Fatalf("health = %+v", hs)
+	}
+	if hs.UptimeNs < 0 {
+		t.Fatalf("uptime = %d", hs.UptimeNs)
+	}
+
+	// A failing tracer degrades health and surfaces its sticky error.
+	r.TraceTo(NewTracer(failWriter{}, nil))
+	r.Trace("x", nil)
+	hs = r.Health()
+	if hs.Status != "degraded" || !strings.Contains(hs.TraceError, "disk full") {
+		t.Fatalf("degraded health = %+v", hs)
+	}
+
+	// The payload is JSON-shaped the way /healthz serves it.
+	b, err := json.Marshal(hs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"status"`, `"uptime_ns"`, `"epoch"`, `"live_rows"`, `"trace_error"`} {
+		if !strings.Contains(string(b), key) {
+			t.Errorf("health JSON missing %s: %s", key, b)
+		}
+	}
+
+	var nilReg *Registry
+	if got := nilReg.Health(); got.Status != "ok" {
+		t.Fatalf("nil registry health = %+v", got)
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, errors.New("disk full") }
+
+// TestDebugEndpointsServeMetricsAndHealth drives the live HTTP
+// handlers end to end.
+func TestDebugEndpointsServeMetricsAndHealth(t *testing.T) {
+	r := New()
+	r.Counter("rpc_matchbatch_count").Add(7)
+	r.Counter("engine_epoch").Add(2)
+	ds, err := ServeDebug("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+
+	metrics := string(httpGet(t, "http://"+ds.Addr()+"/metrics"))
+	if !strings.Contains(metrics, "rpc_matchbatch_count 7") {
+		t.Fatalf("/metrics missing counter:\n%s", metrics)
+	}
+	if !strings.Contains(metrics, "# TYPE rpc_matchbatch_count counter") {
+		t.Fatalf("/metrics missing TYPE line:\n%s", metrics)
+	}
+
+	var hs HealthStatus
+	if err := json.Unmarshal(httpGet(t, "http://"+ds.Addr()+"/healthz"), &hs); err != nil {
+		t.Fatal(err)
+	}
+	if hs.Status != "ok" || hs.Epoch != 2 {
+		t.Fatalf("/healthz = %+v", hs)
+	}
+}
+
+// TestFormatFloat: exposition values render as shortest round-trip
+// decimals, not scientific notation surprises for integral values.
+func TestFormatFloat(t *testing.T) {
+	for _, tc := range []struct {
+		v    float64
+		want string
+	}{
+		{128, "128"},
+		{0.5, "0.5"},
+		{1e21, "1e+21"},
+	} {
+		if got := formatFloat(tc.v); got != tc.want {
+			t.Errorf("formatFloat(%v) = %q, want %q", tc.v, got, tc.want)
+		}
+	}
+	_ = fmt.Sprint // keep fmt for future cases
+}

@@ -57,7 +57,8 @@ type Registry struct {
 	byName map[string]any // guarded by mu: name → *Counter | *Gauge | *Histogram
 	names  []string       // guarded by mu: registered names, kept sorted
 
-	tracer atomic.Pointer[Tracer]
+	tracer  atomic.Pointer[Tracer]
+	spanSeq atomic.Uint64 // span/trace id allocator (see span.go); deterministic, never math/rand
 }
 
 // New returns a registry on the production SystemClock.
@@ -269,10 +270,15 @@ type Bucket struct {
 // of the bucket counts, so count == Σ buckets holds by construction
 // even when the snapshot races concurrent Observes; Sum and Mean are
 // read separately and may trail the buckets by in-flight observations.
+// P50/P95/P99 are Quantile estimates, interpolated within the log2
+// buckets — exact only up to bucket resolution (a factor of 2).
 type HistogramValue struct {
 	Count   uint64   `json:"count"`
 	Sum     int64    `json:"sum"`
 	Mean    float64  `json:"mean"`
+	P50     float64  `json:"p50,omitempty"`
+	P95     float64  `json:"p95,omitempty"`
+	P99     float64  `json:"p99,omitempty"`
 	Buckets []Bucket `json:"buckets,omitempty"`
 }
 
@@ -294,6 +300,55 @@ func (h *Histogram) Value() HistogramValue {
 	hv.Sum = h.sum.Load()
 	if hv.Count > 0 {
 		hv.Mean = float64(hv.Sum) / float64(hv.Count)
+		hv.P50 = hv.Quantile(0.50)
+		hv.P95 = hv.Quantile(0.95)
+		hv.P99 = hv.Quantile(0.99)
 	}
 	return hv
+}
+
+// Quantile estimates the q-quantile (q in [0, 1]) of the observed
+// distribution: it finds the bucket holding rank q·Count and linearly
+// interpolates between the bucket's bounds by the rank's position
+// among that bucket's observations. Resolution is the bucket width —
+// within a factor of 2 of the true value. 0 on an empty snapshot.
+func (hv HistogramValue) Quantile(q float64) float64 {
+	if hv.Count == 0 {
+		return 0
+	}
+	switch {
+	case q < 0:
+		q = 0
+	case q > 1:
+		q = 1
+	}
+	rank := q * float64(hv.Count)
+	var cum float64
+	for _, b := range hv.Buckets {
+		n := float64(b.N)
+		if cum+n < rank {
+			cum += n
+			continue
+		}
+		lo, hi := bucketBounds(b.Le)
+		return lo + (hi-lo)*(rank-cum)/n
+	}
+	// Float rounding pushed the rank past the last bucket: clamp to
+	// its upper bound.
+	_, hi := bucketBounds(hv.Buckets[len(hv.Buckets)-1].Le)
+	return hi
+}
+
+// bucketBounds recovers a bucket's value range from its inclusive
+// upper bound: [2^(i-1), 2^i − 1] for bucket i ≥ 1, the point {0} for
+// bucket 0. The top bucket's bound is computed in uint64 to dodge the
+// (le+1)/2 wraparound at ^uint64(0).
+func bucketBounds(le uint64) (lo, hi float64) {
+	switch le {
+	case 0:
+		return 0, 0
+	case ^uint64(0):
+		return float64(uint64(1) << 63), float64(le)
+	}
+	return float64((le + 1) / 2), float64(le)
 }

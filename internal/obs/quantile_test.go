@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+// TestHistogramQuantiles pins the interpolation math: ranks resolve
+// into power-of-two buckets and interpolate linearly between the
+// bucket's bounds, so estimates land within the bucket holding the
+// true value.
+func TestHistogramQuantiles(t *testing.T) {
+	cases := []struct {
+		name string
+		obs  []int64
+		q    float64
+		want float64
+	}{
+		// 100 sevens all land in bucket [4,7]: rank interpolates
+		// across the bucket width.
+		{"p50 single bucket", repeat(7, 100), 0.50, 5.5},
+		{"p95 single bucket", repeat(7, 100), 0.95, 6.85},
+		{"p99 single bucket", repeat(7, 100), 0.99, 6.97},
+		{"p100 clamps to bucket top", repeat(7, 100), 1.0, 7},
+		// Split 50/50 between value 1 (bucket {1}) and value 8
+		// (bucket [8,15]): the median sits exactly on the boundary,
+		// the tails interpolate inside the upper bucket.
+		{"p50 boundary", append(repeat(1, 50), repeat(8, 50)...), 0.50, 1},
+		{"p95 upper bucket", append(repeat(1, 50), repeat(8, 50)...), 0.95, 14.3},
+		{"p99 upper bucket", append(repeat(1, 50), repeat(8, 50)...), 0.99, 14.86},
+		// Zero observations occupy the point bucket {0}.
+		{"p50 zeros", repeat(0, 10), 0.50, 0},
+		{"p99 zeros", repeat(0, 10), 0.99, 0},
+		// Out-of-range q clamps instead of extrapolating.
+		{"q below zero", repeat(7, 100), -3, 4},
+	}
+	for _, tc := range cases {
+		r := New()
+		h := r.Histogram("h")
+		for _, v := range tc.obs {
+			h.Observe(v)
+		}
+		if got := h.Value().Quantile(tc.q); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("%s: Quantile(%v) = %v, want %v", tc.name, tc.q, got, tc.want)
+		}
+	}
+}
+
+func repeat(v int64, n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+// TestHistogramValueQuantileFields: snapshots carry the three
+// precomputed quantiles, and an empty histogram reports none.
+func TestHistogramValueQuantileFields(t *testing.T) {
+	r := New()
+	h := r.Histogram("h")
+	if v := h.Value(); v.P50 != 0 || v.P95 != 0 || v.P99 != 0 {
+		t.Fatalf("empty histogram quantiles = %+v, want zeros", v)
+	}
+	for i := 0; i < 100; i++ {
+		h.Observe(7)
+	}
+	v := h.Value()
+	if math.Abs(v.P50-5.5) > 1e-9 || math.Abs(v.P95-6.85) > 1e-9 || math.Abs(v.P99-6.97) > 1e-9 {
+		t.Fatalf("quantiles = p50 %v p95 %v p99 %v, want 5.5 6.85 6.97", v.P50, v.P95, v.P99)
+	}
+}

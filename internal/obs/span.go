@@ -1,0 +1,136 @@
+package obs
+
+import "context"
+
+// Span-structured tracing over the JSONL tracer: a Span measures one
+// named operation (start/end through the registry's Clock) inside a
+// trace — a tree of spans sharing one trace id. Spans exist only while
+// a tracer is attached: StartSpan returns nil otherwise, and every
+// method on a nil *Span no-ops, so an instrumented call site pays one
+// atomic Tracing() load when tracing is off.
+//
+// Ids come from a deterministic per-Registry counter, never from a
+// global RNG (the determinism analyzer forbids math/rand here), so a
+// fake-clocked run produces byte-identical trace files. Counters from
+// different processes overlap; tools/traceview disambiguates by file,
+// resolving a remote span's parent in the trace's root file.
+
+// SpanContext names a position in a trace: the trace id shared by the
+// whole tree and the id of one span in it. The zero SpanContext is
+// "no span" — starting from it begins a new trace.
+type SpanContext struct {
+	Trace uint64
+	Span  uint64
+}
+
+// Valid reports whether the context names a real span.
+func (sc SpanContext) Valid() bool { return sc.Trace != 0 && sc.Span != 0 }
+
+// Span is one in-flight traced operation. End emits it as a "span"
+// event into the registry's tracer. A nil Span (tracing disabled)
+// no-ops everywhere and its Context is the zero SpanContext.
+type Span struct {
+	reg    *Registry
+	name   string
+	trace  uint64
+	id     uint64
+	parent uint64
+	remote bool
+	start  int64
+}
+
+// StartSpan opens a span named name under parent; an invalid parent
+// starts a new trace rooted at this span. Nil (one atomic load spent)
+// unless a tracer is attached.
+func (r *Registry) StartSpan(name string, parent SpanContext) *Span {
+	if !r.Tracing() {
+		return nil
+	}
+	id := r.spanSeq.Add(1)
+	trace := parent.Trace
+	if !parent.Valid() {
+		trace = id
+	}
+	return &Span{reg: r, name: name, trace: trace, id: id, parent: parent.Span, start: r.Now()}
+}
+
+// StartSpanRemote opens a span whose parent lives in another process's
+// trace file — the server half of an RPC, adopting the (trace id,
+// parent span id) pair the client sent on the wire. The emitted event
+// is flagged remote so the trace viewer resolves the parent id against
+// the trace's root file instead of this one. Nil when no tracer is
+// attached or the wire carried no trace (trace == 0).
+func (r *Registry) StartSpanRemote(name string, trace, parentSpan uint64) *Span {
+	if trace == 0 || !r.Tracing() {
+		return nil
+	}
+	return &Span{reg: r, name: name, trace: trace, id: r.spanSeq.Add(1), parent: parentSpan, remote: true, start: r.Now()}
+}
+
+// Context returns the span's position for parenting children or
+// propagating over a wire; the zero SpanContext on nil.
+func (s *Span) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return SpanContext{Trace: s.trace, Span: s.id}
+}
+
+// End closes the span and emits it: one "span" event carrying the
+// trace/span/parent ids, the name, and start/duration measured on the
+// registry clock.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	end := s.reg.Now()
+	s.reg.Trace("span", map[string]any{
+		"trace":    s.trace,
+		"span":     s.id,
+		"parent":   s.parent,
+		"remote":   s.remote,
+		"name":     s.name,
+		"start_ns": s.start,
+		"dur_ns":   end - s.start,
+	})
+}
+
+// spanKey keys the context value; an unexported type so no other
+// package can collide with it.
+type spanKey struct{}
+
+// ContextWithSpan returns ctx carrying s as the current span; ctx
+// unchanged when s is nil.
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanKey{}, s)
+}
+
+// SpanFromContext returns the current span carried by ctx, or nil.
+// Callers on hot paths gate the lookup behind Tracing() — a
+// ctx.Value walk is cheap but not free.
+func SpanFromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanKey{}).(*Span)
+	return s
+}
+
+// ChildSpanCtx opens a child of ctx's current span and returns ctx
+// carrying the child. When tracing is off — or ctx carries no span —
+// it returns (ctx, nil): instrumented internals never start roots of
+// their own, so ctx-free entry points (lifecycle verbs, bare core
+// runs) stay span-free instead of flooding the trace with orphan
+// roots. Roots are opened explicitly by the operation owners
+// (forecast.Fit client-side, the RPC server handler from the wire).
+func (r *Registry) ChildSpanCtx(ctx context.Context, name string) (context.Context, *Span) {
+	if !r.Tracing() {
+		return ctx, nil
+	}
+	parent := SpanFromContext(ctx)
+	if parent == nil {
+		return ctx, nil
+	}
+	s := r.StartSpan(name, parent.Context())
+	return ContextWithSpan(ctx, s), s
+}

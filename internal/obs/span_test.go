@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+)
+
+// spanEvents drains the buffer's JSONL lines and returns the fields
+// of every "span" event in emission order.
+func spanEvents(t *testing.T, buf *bytes.Buffer) []map[string]any {
+	t.Helper()
+	var out []map[string]any
+	sc := bufio.NewScanner(bytes.NewReader(buf.Bytes()))
+	for sc.Scan() {
+		var ev struct {
+			Event  string         `json:"event"`
+			Fields map[string]any `json:"fields"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatal(err)
+		}
+		if ev.Event == "span" {
+			out = append(out, ev.Fields)
+		}
+	}
+	return out
+}
+
+// tracedReg returns a fake-clocked registry with a buffer trace sink.
+func tracedReg() (*Registry, *bytes.Buffer) {
+	var tick int64
+	clock := func() int64 { tick += 100; return tick }
+	r := NewWithClock(clock)
+	buf := &bytes.Buffer{}
+	r.TraceTo(NewTracer(buf, clock))
+	return r, buf
+}
+
+func TestSpanIDsDeterministic(t *testing.T) {
+	r, buf := tracedReg()
+	root := r.StartSpan("root", SpanContext{})
+	child := r.StartSpan("child", root.Context())
+	child.End()
+	root.End()
+
+	// Ids come from the registry's own counter: first span is 1 and
+	// starts a trace named after itself; the child inherits it.
+	if sc := root.Context(); sc.Trace != 1 || sc.Span != 1 {
+		t.Fatalf("root context = %+v, want trace 1 span 1", sc)
+	}
+	if sc := child.Context(); sc.Trace != 1 || sc.Span != 2 {
+		t.Fatalf("child context = %+v, want trace 1 span 2", sc)
+	}
+	evs := spanEvents(t, buf)
+	if len(evs) != 2 {
+		t.Fatalf("%d span events, want 2", len(evs))
+	}
+	// Emission order is end order: child first.
+	if evs[0]["name"] != "child" || evs[0]["parent"] != float64(1) {
+		t.Fatalf("child event = %v", evs[0])
+	}
+	if evs[1]["name"] != "root" || evs[1]["parent"] != float64(0) || evs[1]["remote"] != false {
+		t.Fatalf("root event = %v", evs[1])
+	}
+	if evs[1]["dur_ns"].(float64) <= 0 {
+		t.Fatalf("root duration not positive: %v", evs[1])
+	}
+}
+
+func TestSpanNoopsWithoutTracer(t *testing.T) {
+	r := NewWithClock(func() int64 { return 1 })
+	if sp := r.StartSpan("x", SpanContext{}); sp != nil {
+		t.Fatal("StartSpan without a tracer returned a live span")
+	}
+	if sp := r.StartSpanRemote("x", 7, 3); sp != nil {
+		t.Fatal("StartSpanRemote without a tracer returned a live span")
+	}
+	ctx, sp := r.ChildSpanCtx(context.Background(), "x")
+	if sp != nil || ctx != context.Background() {
+		t.Fatal("ChildSpanCtx without a tracer must pass ctx through")
+	}
+	// Nil span and nil registry are inert.
+	var dead *Span
+	dead.End()
+	if dead.Context() != (SpanContext{}) {
+		t.Fatal("nil span context not zero")
+	}
+	var nilReg *Registry
+	if nilReg.StartSpan("x", SpanContext{}) != nil || nilReg.StartSpanRemote("x", 1, 1) != nil {
+		t.Fatal("nil registry started a span")
+	}
+}
+
+func TestChildSpanCtxNeedsParent(t *testing.T) {
+	r, buf := tracedReg()
+	// Tracing, but no parent span in ctx: instrumented internals must
+	// not open orphan roots of their own.
+	ctx, sp := r.ChildSpanCtx(context.Background(), "inner")
+	if sp != nil || ctx != context.Background() {
+		t.Fatal("ChildSpanCtx without a parent span opened a root")
+	}
+	root := r.StartSpan("root", SpanContext{})
+	ctx = ContextWithSpan(context.Background(), root)
+	ctx2, sp2 := r.ChildSpanCtx(ctx, "inner")
+	if sp2 == nil {
+		t.Fatal("ChildSpanCtx with a parent returned nil")
+	}
+	if SpanFromContext(ctx2) != sp2 {
+		t.Fatal("child ctx does not carry the child span")
+	}
+	sp2.End()
+	root.End()
+	evs := spanEvents(t, buf)
+	if len(evs) != 2 || evs[0]["parent"] != float64(1) {
+		t.Fatalf("events = %v, want child under root", evs)
+	}
+}
+
+func TestStartSpanRemote(t *testing.T) {
+	r, buf := tracedReg()
+	// A remote span joins the caller's trace: ids from the wire, the
+	// span id from this registry's own counter, remote flagged.
+	sp := r.StartSpanRemote("serve.matchbatch", 42, 9)
+	if sp == nil {
+		t.Fatal("remote span nil while tracing")
+	}
+	sp.End()
+	// trace == 0 means the far side wasn't tracing: no span.
+	if r.StartSpanRemote("serve.matchbatch", 0, 9) != nil {
+		t.Fatal("remote span started for an untraced request")
+	}
+	evs := spanEvents(t, buf)
+	if len(evs) != 1 {
+		t.Fatalf("%d events, want 1", len(evs))
+	}
+	ev := evs[0]
+	if ev["trace"] != float64(42) || ev["parent"] != float64(9) || ev["remote"] != true {
+		t.Fatalf("remote span event = %v", ev)
+	}
+	if ev["span"] != float64(1) {
+		t.Fatalf("remote span id = %v, want local counter value 1", ev["span"])
+	}
+}
+
+func TestContextWithNilSpan(t *testing.T) {
+	ctx := context.Background()
+	if got := ContextWithSpan(ctx, nil); got != ctx {
+		t.Fatal("ContextWithSpan(nil) must return ctx unchanged")
+	}
+	if SpanFromContext(ctx) != nil {
+		t.Fatal("empty ctx carries a span")
+	}
+}

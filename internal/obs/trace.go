@@ -119,6 +119,17 @@ func (r *Registry) Tracing() bool {
 	return r != nil && r.tracer.Load() != nil
 }
 
+// TraceErr reports the attached tracer's sticky error, if any; nil
+// when no tracer is attached. /healthz surfaces it so a run whose
+// trace file silently stopped growing (disk full, revoked mount)
+// reports degraded instead of healthy.
+func (r *Registry) TraceErr() error {
+	if r == nil {
+		return nil
+	}
+	return r.tracer.Load().Err()
+}
+
 // Trace emits one event through the attached tracer, if any.
 func (r *Registry) Trace(event string, fields map[string]any) {
 	if r == nil {

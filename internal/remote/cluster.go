@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/series"
 )
@@ -543,6 +544,16 @@ func (c *Cluster) MatchIndices(r *core.Rule) []int {
 	return c.MatchBatch(ctx, []*core.Rule{r})[0]
 }
 
+// MatchIndicesCtx is MatchIndices with the caller's context: the RPC
+// is cancellable by the caller and inherits its trace span, so a
+// traced evaluation shows the single-rule matches it issues. The
+// cluster's Timeout still applies when ctx carries no deadline
+// (inside MatchBatch). Implements core.BackendCtx; the evaluator
+// prefers it over MatchIndices when it holds a context.
+func (c *Cluster) MatchIndicesCtx(ctx context.Context, r *core.Rule) []int {
+	return c.MatchBatch(ctx, []*core.Rule{r})[0]
+}
+
 // MatchBatch answers one whole generation: the encoded batch goes to
 // every server concurrently (each owns a disjoint slice of the rows),
 // the per-server ascending RowID answers are remapped to global
@@ -564,6 +575,13 @@ func (c *Cluster) MatchBatch(parent context.Context, rules []*core.Rule) [][]int
 	out := make([][]int, len(rules))
 	if len(rules) == 0 || c.BackendErr() != nil {
 		return out
+	}
+	if t := c.tel; t != nil && t.reg.Tracing() {
+		// One span per scatter/gather pass, opened on the caller's
+		// context so the per-server rpc.matchbatch spans nest under it.
+		var sp *obs.Span
+		parent, sp = t.reg.ChildSpanCtx(parent, "cluster.matchbatch")
+		defer sp.End()
 	}
 	ctx := parent
 	if _, ok := parent.Deadline(); !ok && c.timeout > 0 {

@@ -46,7 +46,14 @@ var ErrTransport = errors.New("remote: transport failure")
 
 // protoVersion is exchanged in the hello RPC; any wire-format change
 // bumps it so mismatched binaries fail fast instead of desyncing.
-const protoVersion = 1
+//
+// Version 2 added trace-context propagation: every non-hello request
+// carries (trace id, parent span id) as two uvarints between the
+// opcode and the body — zeros when the client isn't tracing. The hello
+// frame itself kept its version-1 shape, so a version-skewed pairing
+// in either direction still dies at the hello exchange instead of
+// misparsing a body.
+const protoVersion = 2
 
 // maxFrame bounds one protocol frame (256 MiB). Snapshots of larger
 // datasets must be sharded across more servers; the bound keeps a
@@ -70,21 +77,38 @@ const (
 	opLiveLen    byte = 11
 )
 
-// writeFrame emits one length-prefixed frame and flushes it.
-func writeFrame(w interface {
+// flushWriter is the buffered sink frames are written to.
+type flushWriter interface {
 	io.Writer
 	Flush() error
-}, payload []byte) error {
-	if len(payload) > maxFrame {
-		return fmt.Errorf("%w: frame of %d bytes exceeds the %d-byte limit", ErrTransport, len(payload), maxFrame)
+}
+
+// writeFrame emits one length-prefixed frame and flushes it.
+func writeFrame(w flushWriter, payload []byte) error {
+	return writeFrame2(w, payload, nil)
+}
+
+// writeFrame2 emits one frame whose payload is head followed by body,
+// without concatenating them: the client injects the version-2
+// per-request trace header this way — a stack-built head in front of
+// the caller's request bytes — with no per-RPC allocation.
+func writeFrame2(w flushWriter, head, body []byte) error {
+	n := len(head) + len(body)
+	if n > maxFrame {
+		return fmt.Errorf("%w: frame of %d bytes exceeds the %d-byte limit", ErrTransport, n, maxFrame)
 	}
 	var hdr [4]byte
-	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[:], uint32(n))
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
-	if _, err := w.Write(payload); err != nil {
+	if _, err := w.Write(head); err != nil {
 		return err
+	}
+	if len(body) > 0 {
+		if _, err := w.Write(body); err != nil {
+			return err
+		}
 	}
 	return w.Flush()
 }

@@ -8,6 +8,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Dialer mints connections to one fixed shard server. TCP is the
@@ -138,7 +140,7 @@ func (c *conn) callLocked(ctx context.Context, req []byte) ([]byte, error) {
 	} else {
 		close(watcher)
 	}
-	err := writeFrame(c.bw, req)
+	err := c.writeReqLocked(ctx, req)
 	var resp []byte
 	if err == nil {
 		resp, err = readFrame(c.br)
@@ -165,6 +167,27 @@ func (c *conn) callLocked(ctx context.Context, req []byte) ([]byte, error) {
 		return nil, fmt.Errorf("%w: %s: response op %d to request op %d", ErrTransport, c.dial.Addr(), resp[0], req[0])
 	}
 	return resp[1:], nil
+}
+
+// writeReqLocked frames and sends one request. Every non-hello
+// request gains the version-2 trace header — (trace id, parent span
+// id) uvarints between the opcode and the body, zeros when this
+// client isn't tracing — built in a stack buffer so the injection
+// costs no allocation. The hello frame keeps its version-1 shape so
+// version skew fails at the hello exchange in both directions.
+func (c *conn) writeReqLocked(ctx context.Context, req []byte) error {
+	if req[0] == opHello {
+		return writeFrame(c.bw, req)
+	}
+	var sc obs.SpanContext
+	if c.tel != nil && c.tel.reg.Tracing() {
+		sc = obs.SpanFromContext(ctx).Context()
+	}
+	var head [1 + 2*binary.MaxVarintLen64]byte
+	head[0] = req[0]
+	n := 1 + binary.PutUvarint(head[1:], sc.Trace)
+	n += binary.PutUvarint(head[n:], sc.Span)
+	return writeFrame2(c.bw, head[:n], req[1:])
 }
 
 func (c *conn) closeLocked() {

@@ -145,6 +145,25 @@ func (s *Server) dispatch(ctx context.Context, payload []byte) []byte {
 	op, body := payload[0], payload[1:]
 	d := &dec{b: body}
 
+	// Version-2 trace header: every non-hello request carries
+	// (trace id, parent span id) before its body — zeros from an
+	// untraced client. When this server traces too, the request runs
+	// under a span adopted from the client's trace, so its trace file
+	// stitches under the client's (tools/traceview).
+	if op != opHello {
+		trace := d.uvarint()
+		parent := d.uvarint()
+		if d.err != nil {
+			return errFrame("%v", d.err)
+		}
+		if t := s.tel; t != nil {
+			if sp := t.reg.StartSpanRemote("serve."+verbNames[opIndex(op)], trace, parent); sp != nil {
+				defer sp.End()
+				ctx = obs.ContextWithSpan(ctx, sp)
+			}
+		}
+	}
+
 	s.mu.Lock()
 	defer s.mu.Unlock()
 

@@ -173,8 +173,22 @@ func (c *conn) roundTrip(ctx context.Context, req []byte) ([]byte, error) {
 		return c.roundTrip1(ctx, req)
 	}
 	k := opIndex(req[0])
+	// With tracing on, each round trip under a traced operation gets
+	// its own "rpc.<verb>" span; callLocked reads it back out of ctx
+	// to stamp the wire header, and the server opens its handler span
+	// as this span's remote child. Ops arriving with no parent in ctx
+	// (ctx-free lifecycle verbs) stay span-free rather than starting
+	// orphan roots.
+	var sp *obs.Span
+	if req[0] != opHello && t.reg.Tracing() {
+		if parent := obs.SpanFromContext(ctx); parent != nil {
+			sp = t.reg.StartSpan("rpc."+verbNames[k], parent.Context())
+			ctx = obs.ContextWithSpan(ctx, sp)
+		}
+	}
 	start := t.reg.Now()
 	resp, err := c.roundTrip1(ctx, req)
+	sp.End()
 	t.latency[k].Observe(t.reg.Now() - start)
 	t.bytes[k].Observe(int64(len(req)+len(resp)) + 2*frameHeaderLen)
 	if err != nil && errors.Is(ctx.Err(), context.DeadlineExceeded) {

@@ -1,0 +1,20 @@
+// Package engine is the span-id fixture: trace and span ids must come
+// from a registry's deterministic counter, and span timestamps from
+// the obs Clock seam — internal/obs stays the module's sole clock
+// owner, and random ids would break trace replay.
+package engine
+
+import (
+	"math/rand" // want "import of math/rand: all randomness must come from a seeded internal/rng.Source"
+	"time"
+)
+
+// NewSpanID models the forbidden shape: a span id drawn from the
+// global RNG.
+func NewSpanID() uint64 { return rand.Uint64() }
+
+// SpanStart models the forbidden shape: a span timestamp read from
+// the wall clock instead of the registry's Clock.
+func SpanStart() int64 {
+	return time.Now().UnixNano() // want "time.Now reads the wall clock"
+}

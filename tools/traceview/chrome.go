@@ -1,0 +1,127 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+	"sort"
+)
+
+// Chrome trace-event emission: the stitched forest renders as one
+// "X" (complete) event per span, with pid = input file index (each
+// process's clock is only self-consistent, so files stay on separate
+// pid rows) and tid = a lane assigned so nested spans stack and
+// overlapping siblings split onto parallel rows. Load the output in
+// chrome://tracing or https://ui.perfetto.dev.
+
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid,omitempty"`
+	Ts   float64        `json:"ts,omitempty"`  // µs
+	Dur  float64        `json:"dur,omitempty"` // µs
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+}
+
+// writeChrome emits the forest as Chrome trace-event JSON.
+func writeChrome(w io.Writer, f *forest, files []string) error {
+	var evs []chromeEvent
+	for i, name := range files {
+		evs = append(evs, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: i,
+			Args: map[string]any{"name": filepath.Base(name)},
+		})
+	}
+	lanes := assignLanes(f.spans)
+	for _, s := range f.spans {
+		args := map[string]any{"trace": s.Trace, "span": s.ID, "parent": s.Parent}
+		if s.Remote {
+			args["remote"] = true
+		}
+		if s.orphan {
+			args["orphan"] = true
+		}
+		evs = append(evs, chromeEvent{
+			Name: s.Name, Ph: "X", Pid: s.File, Tid: lanes[key{s.File, s.ID}],
+			Ts: float64(s.Start) / 1e3, Dur: float64(s.Dur) / 1e3,
+			Args: args,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(chromeTrace{TraceEvents: evs})
+}
+
+// assignLanes places each file's spans onto tids so that a span may
+// share a lane with a span it nests inside (renders as a stack) or
+// one that already ended (sequential), but overlapping siblings get
+// distinct lanes. Greedy over spans sorted by (start, longest-first),
+// preferring the parent's lane so call stacks stay visually together.
+func assignLanes(spans []*span) map[key]int {
+	byFile := make(map[int][]*span)
+	for _, s := range spans {
+		byFile[s.File] = append(byFile[s.File], s)
+	}
+	out := make(map[key]int, len(spans))
+	for _, ss := range byFile {
+		ordered := append([]*span(nil), ss...)
+		sortByStartLongest(ordered)
+		// Per lane, a stack of still-open spans: a new span fits if
+		// everything open on the lane is one of its ancestors (it will
+		// render nested inside them) — a sibling whose interval merely
+		// happens to contain it must not capture it.
+		var lanes [][]*span
+		fits := func(l int, s *span) bool {
+			st := lanes[l]
+			for len(st) > 0 && st[len(st)-1].Start+st[len(st)-1].Dur <= s.Start {
+				st = st[:len(st)-1]
+			}
+			lanes[l] = st
+			return len(st) == 0 || s.hasAncestor(st[len(st)-1])
+		}
+		for _, s := range ordered {
+			lane := -1
+			if s.par != nil {
+				if p, ok := out[key{s.par.File, s.par.ID}]; ok && s.par.File == s.File && fits(p, s) {
+					lane = p
+				}
+			}
+			if lane < 0 {
+				for l := range lanes {
+					if fits(l, s) {
+						lane = l
+						break
+					}
+				}
+			}
+			if lane < 0 {
+				lanes = append(lanes, nil)
+				lane = len(lanes) - 1
+			}
+			lanes[lane] = append(lanes[lane], s)
+			out[key{s.File, s.ID}] = lane
+		}
+	}
+	return out
+}
+
+// sortByStartLongest orders spans by start time, longest-duration
+// first on ties, so parents are placed before the children they
+// contain.
+func sortByStartLongest(ss []*span) {
+	sort.Slice(ss, func(i, j int) bool {
+		a, b := ss[i], ss[j]
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		if a.Dur != b.Dur {
+			return a.Dur > b.Dur
+		}
+		return a.ID < b.ID
+	})
+}

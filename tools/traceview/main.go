@@ -1,0 +1,83 @@
+// Command traceview stitches the JSONL trace files written by a
+// distributed run (-trace on the client plus each shardserver) into
+// one span tree per trace id and renders it.
+//
+// Default output is Chrome trace-event JSON on stdout — load it in
+// chrome://tracing or https://ui.perfetto.dev; each input file is a
+// separate process row, nested spans stack, overlapping RPCs fan out
+// onto parallel lanes:
+//
+//	traceview client.trace server0.trace server1.trace > trace.json
+//
+// -summary instead prints an aggregated text tree (span names with
+// counts and summed durations), handy in a terminal or a CI log:
+//
+//	traceview -summary client.trace server0.trace server1.trace
+//
+// Server spans carry parent span ids from the client's id space; the
+// stitcher resolves them against the trace's root file, so the files
+// from any number of servers assemble under the client's tree. Spans
+// whose parents are missing (a server's file not passed in) are kept,
+// flagged as orphans, and reported on stderr.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	var (
+		summary = flag.Bool("summary", false, "print an aggregated text span tree instead of Chrome trace JSON")
+		out     = flag.String("o", "", "write output to this file instead of stdout")
+	)
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: traceview [-summary] [-o out.json] trace.jsonl...")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	files := flag.Args()
+	if len(files) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var spans []*span
+	for i, name := range files {
+		fh, err := os.Open(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "traceview:", err)
+			os.Exit(1)
+		}
+		ss, err := readSpans(fh, i)
+		fh.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "traceview: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		spans = append(spans, ss...)
+	}
+
+	f := stitch(spans)
+	f.reportOrphans()
+
+	w := os.Stdout
+	if *out != "" {
+		fh, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "traceview:", err)
+			os.Exit(1)
+		}
+		defer fh.Close()
+		w = fh
+	}
+	if *summary {
+		writeSummary(w, f, files)
+		return
+	}
+	if err := writeChrome(w, f, files); err != nil {
+		fmt.Fprintln(os.Stderr, "traceview:", err)
+		os.Exit(1)
+	}
+}

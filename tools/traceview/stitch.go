@@ -1,0 +1,202 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// A trace is distributed: the client process and every shardserver
+// write their own JSONL file, each with its own span-id counter, so
+// ids collide across files. Stitching therefore keys spans by
+// (file, id) and resolves parents in two modes: a local span's parent
+// lives in the same file; a span flagged remote (the server half of an
+// RPC) names a parent id from the client's counter, which resolves in
+// the trace's root file — the one holding the span that started the
+// trace (parent 0, not remote).
+
+// span is one parsed span event plus its stitching state.
+type span struct {
+	File   int // index into the input file list
+	Trace  uint64
+	ID     uint64
+	Parent uint64
+	Remote bool
+	Name   string
+	Start  int64 // ns, on the emitting process's clock
+	Dur    int64 // ns
+
+	children []*span
+	par      *span // resolved parent, nil for roots and orphans
+	orphan   bool  // parent named but not found
+}
+
+// hasAncestor reports whether a is on s's resolved-parent chain.
+func (s *span) hasAncestor(a *span) bool {
+	for p := s.par; p != nil; p = p.par {
+		if p == a {
+			return true
+		}
+	}
+	return false
+}
+
+// key identifies a span across files.
+type key struct {
+	file int
+	id   uint64
+}
+
+// rawEvent is the JSONL envelope; only "span" events matter here.
+type rawEvent struct {
+	Event  string          `json:"event"`
+	Fields json.RawMessage `json:"fields"`
+}
+
+// spanFields is a span event's payload (see obs.Span.End).
+type spanFields struct {
+	Trace  uint64 `json:"trace"`
+	Span   uint64 `json:"span"`
+	Parent uint64 `json:"parent"`
+	Remote bool   `json:"remote"`
+	Name   string `json:"name"`
+	Start  int64  `json:"start_ns"`
+	Dur    int64  `json:"dur_ns"`
+}
+
+// readSpans parses one JSONL trace file, keeping the span events.
+func readSpans(r io.Reader, file int) ([]*span, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	var out []*span
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var ev rawEvent
+		if err := json.Unmarshal(b, &ev); err != nil {
+			return nil, fmt.Errorf("line %d: %w", line, err)
+		}
+		if ev.Event != "span" {
+			continue
+		}
+		var f spanFields
+		if err := json.Unmarshal(ev.Fields, &f); err != nil {
+			return nil, fmt.Errorf("line %d: span fields: %w", line, err)
+		}
+		if f.Span == 0 || f.Trace == 0 {
+			return nil, fmt.Errorf("line %d: span event without ids", line)
+		}
+		out = append(out, &span{
+			File: file, Trace: f.Trace, ID: f.Span, Parent: f.Parent,
+			Remote: f.Remote, Name: f.Name, Start: f.Start, Dur: f.Dur,
+		})
+	}
+	return out, sc.Err()
+}
+
+// forest is the stitched result: every trace's root spans (children
+// populated), plus the orphans whose parents never showed up.
+type forest struct {
+	// Roots per trace id, each sorted by start.
+	roots map[uint64][]*span
+	// traceIDs in first-seen-sorted order for deterministic output.
+	traceIDs []uint64
+	orphans  []*span
+	spans    []*span // every span, stitched or orphaned
+}
+
+// stitch assembles spans from all files into per-trace trees.
+func stitch(spans []*span) *forest {
+	byKey := make(map[key]*span, len(spans))
+	for _, s := range spans {
+		byKey[key{s.File, s.ID}] = s
+	}
+	// A trace's root file: the file holding its root span. Remote
+	// spans resolve their parent id there.
+	rootFile := make(map[uint64]int)
+	f := &forest{roots: make(map[uint64][]*span)}
+	for _, s := range spans {
+		if s.Parent == 0 && !s.Remote {
+			if _, dup := rootFile[s.Trace]; !dup {
+				rootFile[s.Trace] = s.File
+			}
+		}
+	}
+	for _, s := range spans {
+		f.spans = append(f.spans, s)
+		if s.Parent == 0 && !s.Remote {
+			f.roots[s.Trace] = append(f.roots[s.Trace], s)
+			continue
+		}
+		pf, ok := s.File, true
+		if s.Remote {
+			pf, ok = rootFile[s.Trace]
+		}
+		var parent *span
+		if ok {
+			parent = byKey[key{pf, s.Parent}]
+		}
+		if parent == nil || parent.Trace != s.Trace {
+			s.orphan = true
+			f.orphans = append(f.orphans, s)
+			// Still show it: an orphan surfaces as a trace-level root
+			// so its subtree isn't silently dropped.
+			f.roots[s.Trace] = append(f.roots[s.Trace], s)
+			continue
+		}
+		s.par = parent
+		parent.children = append(parent.children, s)
+	}
+	for t, roots := range f.roots {
+		sortSpans(roots)
+		f.traceIDs = append(f.traceIDs, t)
+		var walk func(*span)
+		walk = func(s *span) {
+			sortSpans(s.children)
+			for _, c := range s.children {
+				walk(c)
+			}
+		}
+		for _, r := range roots {
+			walk(r)
+		}
+	}
+	sort.Slice(f.traceIDs, func(i, j int) bool { return f.traceIDs[i] < f.traceIDs[j] })
+	return f
+}
+
+// sortSpans orders siblings deterministically: by start, then id.
+func sortSpans(ss []*span) {
+	sort.Slice(ss, func(i, j int) bool {
+		if ss[i].Start != ss[j].Start {
+			return ss[i].Start < ss[j].Start
+		}
+		if ss[i].File != ss[j].File {
+			return ss[i].File < ss[j].File
+		}
+		return ss[i].ID < ss[j].ID
+	})
+}
+
+// reportOrphans warns (to stderr) about spans whose parent never
+// showed up — usually a missing trace file from one of the servers.
+func (f *forest) reportOrphans() {
+	if len(f.orphans) == 0 {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "traceview: %d span(s) with unresolved parents (missing a trace file?):\n", len(f.orphans))
+	for i, s := range f.orphans {
+		if i == 8 {
+			fmt.Fprintf(os.Stderr, "  ... and %d more\n", len(f.orphans)-i)
+			break
+		}
+		fmt.Fprintf(os.Stderr, "  file %d span %d %q wants parent %d (remote=%v)\n", s.File, s.ID, s.Name, s.Parent, s.Remote)
+	}
+}

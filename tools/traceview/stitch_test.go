@@ -1,0 +1,175 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// spanLine renders one span event the way obs.Span.End writes it.
+func spanLine(trace, id, parent uint64, remote bool, name string, start, dur int64) string {
+	return fmt.Sprintf(`{"ts_ns":%d,"event":"span","fields":{"trace":%d,"span":%d,"parent":%d,"remote":%v,"name":%q,"start_ns":%d,"dur_ns":%d}}`,
+		start+dur, trace, id, parent, remote, name, start, dur)
+}
+
+// testFiles is a client file plus two server files from one traced
+// 2-server Fit, boiled down to a handful of spans.
+func testFiles() []string {
+	client := strings.Join([]string{
+		`{"ts_ns":1,"event":"fit","fields":{"rows":100}}`, // non-span noise
+		spanLine(9, 2, 1, false, "rpc.matchbatch", 10, 30),
+		spanLine(9, 3, 1, false, "rpc.matchbatch", 10, 40),
+		spanLine(9, 1, 0, false, "forecast.fit", 0, 100),
+	}, "\n")
+	serverA := strings.Join([]string{
+		spanLine(9, 2, 1, false, "engine.matchbatch", 6, 10),
+		spanLine(9, 1, 2, true, "serve.matchbatch", 5, 20),
+	}, "\n")
+	serverB := spanLine(9, 1, 3, true, "serve.matchbatch", 7, 25)
+	return []string{client, serverA, serverB}
+}
+
+func parseAll(t *testing.T, files []string) []*span {
+	t.Helper()
+	var spans []*span
+	for i, f := range files {
+		ss, err := readSpans(strings.NewReader(f), i)
+		if err != nil {
+			t.Fatalf("file %d: %v", i, err)
+		}
+		spans = append(spans, ss...)
+	}
+	return spans
+}
+
+func TestStitchCrossFile(t *testing.T) {
+	f := stitch(parseAll(t, testFiles()))
+	if len(f.traceIDs) != 1 || f.traceIDs[0] != 9 {
+		t.Fatalf("traces = %v, want [9]", f.traceIDs)
+	}
+	if len(f.orphans) != 0 {
+		t.Fatalf("orphans = %d, want 0", len(f.orphans))
+	}
+	roots := f.roots[9]
+	if len(roots) != 1 || roots[0].Name != "forecast.fit" {
+		t.Fatalf("roots = %+v, want single forecast.fit", roots)
+	}
+	// forecast.fit → two rpc.matchbatch, each → one serve.matchbatch
+	// from its own server file, and server A's serve span nests its
+	// local engine.matchbatch.
+	fit := roots[0]
+	if len(fit.children) != 2 {
+		t.Fatalf("fit children = %d, want 2", len(fit.children))
+	}
+	for _, rpc := range fit.children {
+		if rpc.Name != "rpc.matchbatch" {
+			t.Fatalf("fit child %q, want rpc.matchbatch", rpc.Name)
+		}
+		if len(rpc.children) != 1 || rpc.children[0].Name != "serve.matchbatch" {
+			t.Fatalf("rpc %d children = %+v, want one serve.matchbatch", rpc.ID, rpc.children)
+		}
+	}
+	// Client span 2 ↔ server A (file 1); client span 3 ↔ server B.
+	if srv := fit.children[0].children[0]; srv.File != 1 || len(srv.children) != 1 || srv.children[0].Name != "engine.matchbatch" {
+		t.Fatalf("server A serve span wrong: %+v", srv)
+	}
+	if srv := fit.children[1].children[0]; srv.File != 2 || len(srv.children) != 0 {
+		t.Fatalf("server B serve span wrong: %+v", srv)
+	}
+}
+
+func TestStitchOrphans(t *testing.T) {
+	// Server B's file without the client file: its serve span names a
+	// parent that is nowhere — kept, flagged, surfaced as a root.
+	files := []string{testFiles()[2]}
+	f := stitch(parseAll(t, files))
+	if len(f.orphans) != 1 || !f.orphans[0].orphan {
+		t.Fatalf("orphans = %+v, want exactly the serve span", f.orphans)
+	}
+	if len(f.roots[9]) != 1 || f.roots[9][0] != f.orphans[0] {
+		t.Fatalf("orphan not surfaced as trace root")
+	}
+}
+
+func TestChromeOutput(t *testing.T) {
+	files := testFiles()
+	f := stitch(parseAll(t, files))
+	var buf bytes.Buffer
+	if err := writeChrome(&buf, f, []string{"client.trace", "a.trace", "b.trace"}); err != nil {
+		t.Fatal(err)
+	}
+	var out chromeTrace
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	var meta, complete int
+	byName := map[string]chromeEvent{}
+	for _, ev := range out.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			meta++
+		case "X":
+			complete++
+			byName[fmt.Sprintf("%d/%s/%v", ev.Pid, ev.Name, ev.Args["span"])] = ev
+		default:
+			t.Fatalf("unexpected phase %q", ev.Ph)
+		}
+	}
+	if meta != 3 || complete != 6 {
+		t.Fatalf("meta=%d complete=%d, want 3 and 6", meta, complete)
+	}
+	// Overlapping sibling RPCs must not share a lane; the fit span
+	// contains both and may share with either.
+	a := byName["0/rpc.matchbatch/2"]
+	b := byName["0/rpc.matchbatch/3"]
+	if a.Tid == b.Tid {
+		t.Fatalf("overlapping siblings share tid %d", a.Tid)
+	}
+	// Timestamps are µs: fit starts at 0ns dur 100ns → 0.1µs.
+	fit := byName["0/forecast.fit/1"]
+	if fit.Dur != 0.1 {
+		t.Fatalf("fit dur = %v µs, want 0.1", fit.Dur)
+	}
+}
+
+func TestSummaryOutput(t *testing.T) {
+	f := stitch(parseAll(t, testFiles()))
+	var buf bytes.Buffer
+	writeSummary(&buf, f, []string{"client.trace", "a.trace", "b.trace"})
+	got := buf.String()
+	for _, want := range []string{
+		"trace 9",
+		"forecast.fit ×1",
+		"rpc.matchbatch ×2",
+		"serve.matchbatch ×2",
+		"engine.matchbatch ×1",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("summary missing %q:\n%s", want, got)
+		}
+	}
+	// Aggregation respects depth: serve is indented under rpc.
+	rpcLine, serveLine := -1, -1
+	for _, line := range strings.Split(got, "\n") {
+		if strings.Contains(line, "rpc.matchbatch") {
+			rpcLine = len(line) - len(strings.TrimLeft(line, " "))
+		}
+		if strings.Contains(line, "serve.matchbatch") {
+			serveLine = len(line) - len(strings.TrimLeft(line, " "))
+		}
+	}
+	if serveLine <= rpcLine {
+		t.Fatalf("serve.matchbatch not nested under rpc.matchbatch:\n%s", got)
+	}
+}
+
+func TestReadSpansRejectsGarbage(t *testing.T) {
+	if _, err := readSpans(strings.NewReader("{not json"), 0); err == nil {
+		t.Fatal("want error for malformed line")
+	}
+	if _, err := readSpans(strings.NewReader(`{"event":"span","fields":{"trace":0,"span":0}}`), 0); err == nil {
+		t.Fatal("want error for span without ids")
+	}
+}

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// The -summary view aggregates each trace's tree by span name: all
+// siblings sharing a name collapse into one line with a count and a
+// summed duration, so a 2-server Fit prints as a short call tree
+// ("rpc.matchbatch ×40" under "cluster.matchbatch ×20") instead of
+// thousands of individual spans.
+
+// nameNode is one aggregated line of the summary tree.
+type nameNode struct {
+	name     string
+	count    int
+	total    int64 // summed dur_ns
+	orphan   bool
+	children []*nameNode
+	index    map[string]*nameNode
+}
+
+func (n *nameNode) child(name string, orphan bool) *nameNode {
+	k := name
+	if orphan {
+		k = "!" + name
+	}
+	if c, ok := n.index[k]; ok {
+		return c
+	}
+	c := &nameNode{name: name, orphan: orphan, index: make(map[string]*nameNode)}
+	if n.index == nil {
+		n.index = make(map[string]*nameNode)
+	}
+	n.index[k] = c
+	n.children = append(n.children, c)
+	return c
+}
+
+// aggregate folds a list of sibling spans into a parent nameNode.
+func aggregate(parent *nameNode, spans []*span) {
+	for _, s := range spans {
+		c := parent.child(s.Name, s.orphan)
+		c.count++
+		c.total += s.Dur
+		aggregate(c, s.children)
+	}
+}
+
+// writeSummary prints the aggregated span tree, one trace at a time.
+func writeSummary(w io.Writer, f *forest, files []string) {
+	for i, name := range files {
+		fmt.Fprintf(w, "file %d: %s\n", i, name)
+	}
+	for _, t := range f.traceIDs {
+		root := &nameNode{index: make(map[string]*nameNode)}
+		aggregate(root, f.roots[t])
+		fmt.Fprintf(w, "trace %d\n", t)
+		printNode(w, root, 1)
+	}
+	if len(f.traceIDs) == 0 {
+		fmt.Fprintln(w, "no spans")
+	}
+}
+
+func printNode(w io.Writer, n *nameNode, depth int) {
+	for _, c := range n.children {
+		mark := ""
+		if c.orphan {
+			mark = "  [orphan: parent span missing]"
+		}
+		fmt.Fprintf(w, "%s%s ×%d %s%s\n",
+			strings.Repeat("  ", depth), c.name, c.count,
+			time.Duration(c.total), mark)
+		printNode(w, c, depth+1)
+	}
+}
